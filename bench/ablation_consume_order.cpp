@@ -1,0 +1,56 @@
+/// \file ablation_consume_order.cpp
+/// \brief Ablation of the buffered-pair consumption order (DESIGN.md
+/// "Pair consumption order").
+///
+/// The paper does not specify which buffered pair a remote gate consumes.
+/// dqcsim defaults to freshest-first, which realizes the paper's §V-B
+/// observation that pairs are consumed "immediately after generation,
+/// maintaining high fidelity"; oldest-first (FIFO) is the naive alternative
+/// that drags the whole standing stock's age into every consumed pair.
+/// Depth is unaffected (same pair counts); fidelity is not.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dqcsim;
+  std::cout << "=== Ablation: buffered-pair consumption order ===\n\n";
+
+  TablePrinter table({"benchmark", "design", "order", "depth", "fidelity",
+                      "avg pair age"});
+  CsvWriter csv(bench::csv_path("ablation_consume_order"),
+                {"benchmark", "design", "order", "depth_mean",
+                 "fidelity_mean", "avg_pair_age"});
+
+  for (const auto id :
+       {gen::BenchmarkId::TLIM_32, gen::BenchmarkId::QAOA_R8_32}) {
+    const Circuit qc = gen::make_benchmark(id);
+    const auto part = bench::partition2(qc);
+    for (const auto design :
+         {runtime::DesignKind::SyncBuf, runtime::DesignKind::InitBuf}) {
+      for (const bool freshest : {true, false}) {
+        runtime::ArchConfig config;
+        config.consume_freshest = freshest;
+        const auto agg = runtime::run_design(qc, part.assignment, config,
+                                             design, bench::kRuns);
+        const std::string order = freshest ? "freshest" : "oldest";
+        table.add_row({benchmark_name(id), design_name(design), order,
+                       TablePrinter::fmt(agg.depth.mean(), 1),
+                       TablePrinter::fmt(agg.fidelity.mean(), 4),
+                       TablePrinter::fmt(agg.avg_pair_age.mean(), 2)});
+        csv.add_row({benchmark_name(id), design_name(design), order,
+                     TablePrinter::fmt(agg.depth.mean(), 3),
+                     TablePrinter::fmt(agg.fidelity.mean(), 5),
+                     TablePrinter::fmt(agg.avg_pair_age.mean(), 3)});
+      }
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape: identical depth for both orders; "
+               "freshest-first yields lower consumed-pair age and hence "
+               "higher fidelity whenever a standing buffer stock exists "
+               "(TLIM's demand-light link, init_buf's pre-filled pairs).\n";
+  return 0;
+}

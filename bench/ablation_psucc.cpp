@@ -1,0 +1,52 @@
+/// \file ablation_psucc.cpp
+/// \brief Ablation of the entanglement-generation success probability.
+///
+/// The paper fixes p_succ = 0.4 (§IV-A). Real links span orders of
+/// magnitude in heralding efficiency, so this ablation sweeps p_succ on
+/// QAOA-r8-32 and shows how the benefit of buffering + asynchrony +
+/// adaptivity grows as entanglement becomes scarcer.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dqcsim;
+  std::cout << "=== Ablation: EPR success probability (QAOA-r8-32) ===\n\n";
+
+  const Circuit qc = gen::make_benchmark(gen::BenchmarkId::QAOA_R8_32);
+  const auto part = bench::partition2(qc);
+
+  TablePrinter table({"p_succ", "design", "depth", "rel. ideal", "fidelity"});
+  CsvWriter csv(bench::csv_path("ablation_psucc"),
+                {"p_succ", "design", "depth_mean", "depth_rel_ideal",
+                 "fidelity_mean"});
+
+  for (const double p : {0.1, 0.2, 0.4, 0.6, 0.8}) {
+    runtime::ArchConfig config;
+    config.p_succ = p;
+    const double ideal = runtime::ideal_depth(qc, config);
+    for (const auto design :
+         {runtime::DesignKind::Original, runtime::DesignKind::SyncBuf,
+          runtime::DesignKind::AsyncBuf, runtime::DesignKind::InitBuf}) {
+      const auto agg = runtime::run_design(qc, part.assignment, config,
+                                           design, bench::kRuns);
+      table.add_row({TablePrinter::fmt(p, 1), design_name(design),
+                     TablePrinter::fmt(agg.depth.mean(), 1),
+                     TablePrinter::fmt(agg.depth.mean() / ideal, 2),
+                     TablePrinter::fmt(agg.fidelity.mean(), 4)});
+      csv.add_row({TablePrinter::fmt(p, 2), design_name(design),
+                   TablePrinter::fmt(agg.depth.mean(), 3),
+                   TablePrinter::fmt(agg.depth.mean() / ideal, 4),
+                   TablePrinter::fmt(agg.fidelity.mean(), 5)});
+    }
+    table.add_row({"", "", "", "", ""});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape: depth scales roughly with 1/p_succ in the "
+               "supply-limited regime for every design; the relative gap "
+               "between original and the buffered designs widens as p_succ "
+               "drops (waste hurts more when pairs are scarce).\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+/// \file ablation_purification.cpp
+/// \brief Ablation: purify-on-consume (BBPSSW) vs raw pair consumption.
+///
+/// Spending two buffered pairs to distill one better pair trades
+/// entanglement rate (and extra local-operation latency) for remote-gate
+/// fidelity. The trade only pays when raw pairs are noticeably imperfect,
+/// so this sweeps the fresh-pair fidelity F0 on QAOA-r8-32 (init_buf).
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dqcsim;
+  std::cout << "=== Ablation: purify-on-consume (QAOA-r8-32, init_buf) ===\n\n";
+
+  // Gadget-level context: what one BBPSSW round does to a Werner pair.
+  std::cout << "BBPSSW round on identical pairs:\n";
+  TablePrinter rounds({"F_in", "F_out", "p_success"});
+  for (const double f : {0.6, 0.7, 0.8, 0.9, 0.95, 0.99}) {
+    const auto out = noise::purify_werner(f, f);
+    rounds.add_row({TablePrinter::fmt(f, 2), TablePrinter::fmt(out.fidelity, 4),
+                    TablePrinter::fmt(out.success_probability, 3)});
+  }
+  rounds.print(std::cout);
+  std::cout << '\n';
+
+  const Circuit qc = gen::make_benchmark(gen::BenchmarkId::QAOA_R8_32);
+  const auto part = bench::partition2(qc);
+
+  TablePrinter table({"F0", "purify", "depth", "fidelity", "remote fid",
+                      "failed rounds"});
+  CsvWriter csv(bench::csv_path("ablation_purification"),
+                {"f0", "purify", "depth_mean", "fidelity_mean",
+                 "fidelity_remote", "purification_failures"});
+
+  for (const double f0 : {0.99, 0.95, 0.9, 0.8}) {
+    for (const bool purify : {false, true}) {
+      runtime::ArchConfig config;
+      config.fid.epr_f0 = f0;
+      config.purify_on_consume = purify;
+      // Remote-fidelity factor needs a representative single run.
+      noise::TeleportNoiseParams tele;
+      tele.local_2q_fidelity = config.fid.local_cnot;
+      tele.local_1q_fidelity = config.fid.one_qubit;
+      tele.readout_fidelity = config.fid.measurement;
+      const noise::TeleportFidelityModel model(tele);
+      runtime::ExecutionEngine probe(qc, part.assignment, config,
+                                     runtime::DesignKind::InitBuf, 424242,
+                                     &model);
+      const auto one = probe.run();
+
+      const auto agg =
+          runtime::run_design(qc, part.assignment, config,
+                              runtime::DesignKind::InitBuf, bench::kRuns);
+      table.add_row({TablePrinter::fmt(f0, 2), purify ? "yes" : "no",
+                     TablePrinter::fmt(agg.depth.mean(), 1),
+                     TablePrinter::fmt(agg.fidelity.mean(), 4),
+                     TablePrinter::fmt(one.fidelity_remote, 4),
+                     TablePrinter::fmt(one.purification_failures)});
+      csv.add_row({TablePrinter::fmt(f0, 2), purify ? "yes" : "no",
+                   TablePrinter::fmt(agg.depth.mean(), 3),
+                   TablePrinter::fmt(agg.fidelity.mean(), 5),
+                   TablePrinter::fmt(one.fidelity_remote, 5),
+                   TablePrinter::fmt(one.purification_failures)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape: at F0 = 0.99 purification only costs — "
+               "~3x depth (doubled demand + pair-matching dwell) and a "
+               "remote-fidelity *loss* because pairs now wait for their "
+               "distillation partner; as F0 falls the raw remote-fidelity "
+               "product collapses faster than the purified one and the "
+               "trade flips — the crossover sits between F0 = 0.95 and "
+               "0.90 for this workload.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+/// \file bench_util.hpp
+/// \brief Shared helpers for the reproduction harness: configuration echo
+/// (paper Table II), standard run loops, and CSV output locations.
+
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "dqcsim.hpp"
+
+namespace dqcsim::bench {
+
+/// Number of stochastic runs per configuration (the paper averages 50).
+inline constexpr int kRuns = 50;
+
+/// Print the Table II operation properties actually in effect, so every
+/// bench is self-describing.
+inline void print_config(const runtime::ArchConfig& config,
+                         std::ostream& os = std::cout) {
+  TablePrinter t({"operation", "latency [t_CNOT]", "fidelity"});
+  t.add_row({"1Q gate", TablePrinter::fmt(config.lat.one_qubit, 1),
+             TablePrinter::fmt(config.fid.one_qubit, 4)});
+  t.add_row({"local CNOT", TablePrinter::fmt(config.lat.local_cnot, 1),
+             TablePrinter::fmt(config.fid.local_cnot, 4)});
+  t.add_row({"measurement", TablePrinter::fmt(config.lat.measurement, 1),
+             TablePrinter::fmt(config.fid.measurement, 4)});
+  t.add_row({"EPR generation cycle", TablePrinter::fmt(config.lat.epr_cycle, 1),
+             TablePrinter::fmt(config.fid.epr_f0, 4)});
+  os << "System configuration (paper Table II; p_succ = "
+     << TablePrinter::fmt(config.p_succ, 2)
+     << ", kappa = " << TablePrinter::fmt(config.kappa, 4) << " per unit, "
+     << config.comm_per_node << " comm + " << config.buffer_per_node
+     << " buffer qubits/node):\n";
+  t.print(os);
+  os << '\n';
+}
+
+/// Standard partition of a benchmark circuit onto 2 nodes.
+inline partition::PartitionResult partition2(const Circuit& qc) {
+  return runtime::partition_circuit(qc, 2);
+}
+
+/// Where benches drop machine-readable copies of their tables.
+inline std::string csv_path(const std::string& name) {
+  return name + ".csv";
+}
+
+}  // namespace dqcsim::bench

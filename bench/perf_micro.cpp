@@ -1,0 +1,105 @@
+/// \file perf_micro.cpp
+/// \brief google-benchmark microbenchmarks of the library's hot paths
+/// (not a paper experiment): DES throughput, partitioner, DAG analysis,
+/// density-matrix gadget evaluation, and a full engine run.
+
+#include <benchmark/benchmark.h>
+
+#include "dqcsim.hpp"
+
+namespace {
+
+using namespace dqcsim;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  for (auto _ : state) {
+    des::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(static_cast<double>((i * 7919) % 1000), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void BM_RngUniform(benchmark::State& state) {
+  Rng rng(1);
+  double acc = 0.0;
+  for (auto _ : state) acc += rng.uniform();
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_BuildQft32(benchmark::State& state) {
+  for (auto _ : state) {
+    const Circuit qc = gen::make_qft(32);
+    benchmark::DoNotOptimize(qc.num_gates());
+  }
+}
+BENCHMARK(BM_BuildQft32);
+
+void BM_DependencyDagQft32(benchmark::State& state) {
+  const Circuit qc = gen::make_qft(32);
+  for (auto _ : state) {
+    const DependencyDag dag(qc, DependencyDag::Mode::CommutationAware);
+    benchmark::DoNotOptimize(dag.critical_path_length());
+  }
+}
+BENCHMARK(BM_DependencyDagQft32);
+
+void BM_PartitionQaoaR8_32(benchmark::State& state) {
+  const Circuit qc = gen::make_benchmark(gen::BenchmarkId::QAOA_R8_32);
+  const partition::Graph graph = interaction_graph(qc);
+  for (auto _ : state) {
+    const auto result = partition::multilevel_partition(graph, 2);
+    benchmark::DoNotOptimize(result.cut);
+  }
+}
+BENCHMARK(BM_PartitionQaoaR8_32);
+
+void BM_TeleportGadgetExact(benchmark::State& state) {
+  for (auto _ : state) {
+    const double f = noise::teleported_cnot_avg_fidelity(0.99);
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_TeleportGadgetExact);
+
+void BM_TeleportModelEval(benchmark::State& state) {
+  const noise::TeleportFidelityModel model{noise::TeleportNoiseParams{}};
+  double f = 0.5;
+  for (auto _ : state) {
+    f = 0.25 + 0.75 * model.eval(0.25 + 0.5 * (f > 0.6));
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_TeleportModelEval);
+
+void BM_EngineRunQaoaR8_32(benchmark::State& state) {
+  const Circuit qc = gen::make_benchmark(gen::BenchmarkId::QAOA_R8_32);
+  const auto part = runtime::partition_circuit(qc, 2);
+  const runtime::ArchConfig config;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    runtime::ExecutionEngine engine(qc, part.assignment, config,
+                                    runtime::DesignKind::AsyncBuf, ++seed);
+    benchmark::DoNotOptimize(engine.run().depth);
+  }
+}
+BENCHMARK(BM_EngineRunQaoaR8_32);
+
+void BM_DensityMatrixCnot6Qubit(benchmark::State& state) {
+  qsim::DensityMatrix rho(6);
+  const auto u = qsim::cnot();
+  for (auto _ : state) {
+    rho.apply_2q(u, 2, 4);
+    benchmark::DoNotOptimize(rho.trace());
+  }
+}
+BENCHMARK(BM_DensityMatrixCnot6Qubit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

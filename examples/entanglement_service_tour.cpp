@@ -1,0 +1,80 @@
+/// \file entanglement_service_tour.cpp
+/// \brief Tour of the entanglement layer as a standalone service.
+///
+/// Uses the DES kernel, generation service, buffer pool and Werner decay
+/// directly — without the circuit runtime — the way a quantum-network
+/// researcher would study link provisioning: how fast does the buffer fill,
+/// how does a cutoff policy bound pair age, and what does the teleported
+/// gate fidelity look like as a function of buffering delay?
+///
+/// Run: ./entanglement_service_tour
+
+#include <iostream>
+
+#include "dqcsim.hpp"
+
+int main() {
+  using namespace dqcsim;
+
+  // --- 1. Watch the buffer fill under sync vs async generation. ----------
+  std::cout << "1) Buffer occupancy over time (capacity 10, p_succ 0.4)\n\n";
+  for (const auto schedule : {ent::AttemptSchedule::Synchronous,
+                              ent::AttemptSchedule::Asynchronous}) {
+    des::Simulator sim;
+    Rng rng(11);
+    ent::LinkParams link;
+    link.schedule = schedule;
+    ent::GenerationService service(sim, link, rng,
+                                   ent::ServiceMode::Buffered);
+    service.start();
+    std::cout << (schedule == ent::AttemptSchedule::Synchronous
+                      ? "   synchronous : "
+                      : "   asynchronous: ");
+    for (double t = 5.0; t <= 100.0; t += 5.0) {
+      sim.run_until(t);
+      std::cout << service.buffer().size(t) << ' ';
+    }
+    std::cout << "  (every 5 t_CNOT)\n";
+  }
+
+  // --- 2. Cutoff policy bounds the age of buffered pairs. -----------------
+  std::cout << "\n2) Cut-off policy: oldest buffered pair age at t = 200\n\n";
+  for (const double cutoff : {10.0, 25.0, 50.0, 1e18}) {
+    des::Simulator sim;
+    Rng rng(13);
+    ent::LinkParams link;
+    link.cutoff = cutoff;
+    ent::GenerationService service(sim, link, rng,
+                                   ent::ServiceMode::Buffered);
+    service.start();
+    sim.run_until(200.0);
+    auto& buffer = service.buffer();
+    double oldest_age = 0.0;
+    // Drain the pool to inspect the ages of what survived the cutoff.
+    while (auto pair = buffer.pop_oldest(200.0)) {
+      oldest_age = std::max(oldest_age, 200.0 - pair->deposited);
+    }
+    std::cout << "   cutoff " << (cutoff > 1e17 ? "none" : std::to_string(
+                                      static_cast<int>(cutoff)))
+              << ": oldest surviving pair age = "
+              << TablePrinter::fmt(oldest_age, 1) << ", expired so far = "
+              << buffer.total_expired() << '\n';
+  }
+
+  // --- 3. From pair age to teleported-gate fidelity. ----------------------
+  std::cout << "\n3) Teleported-CNOT fidelity vs buffered age "
+               "(F0 = 0.99, 1/kappa = 150 us)\n\n";
+  const noise::TeleportFidelityModel model{noise::TeleportNoiseParams{}};
+  TablePrinter table({"age [t_CNOT]", "pair fidelity", "teleported-CNOT"});
+  for (const double age : {0.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0}) {
+    const double pair_f = noise::werner_decayed_fidelity(0.99, 0.002, age);
+    table.add_row({TablePrinter::fmt(age, 0), TablePrinter::fmt(pair_f, 4),
+                   TablePrinter::fmt(model.eval(pair_f), 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\nThis is why the architecture consumes pairs immediately "
+               "(async + adaptive) and why pre-initialized pairs (init_buf) "
+               "cost fidelity: every t_CNOT spent in the buffer eats into "
+               "the teleported gate's fidelity budget.\n";
+  return 0;
+}

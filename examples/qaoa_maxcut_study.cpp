@@ -1,0 +1,64 @@
+/// \file qaoa_maxcut_study.cpp
+/// \brief Domain example: planning a QAOA MaxCut campaign on a 2-node DQC.
+///
+/// A user wants to run QAOA on random regular graphs of growing degree and
+/// asks: how much does graph density cost me in remote gates, runtime and
+/// fidelity on a buffered DQC versus the bufferless baseline? This walks
+/// the full pipeline — generate, partition, inspect, simulate — the way a
+/// downstream study would.
+///
+/// Run: ./qaoa_maxcut_study [qubits]   (default 32)
+
+#include <cstdlib>
+#include <iostream>
+
+#include "dqcsim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dqcsim;
+  const int qubits = argc > 1 ? std::atoi(argv[1]) : 32;
+  if (qubits < 8 || qubits % 2 != 0) {
+    std::cerr << "usage: qaoa_maxcut_study [even qubits >= 8]\n";
+    return 1;
+  }
+
+  runtime::ArchConfig config;
+  std::cout << "QAOA MaxCut on " << qubits
+            << " qubits, 2 QPU nodes, paper Table II parameters\n\n";
+
+  TablePrinter table({"degree", "edges", "remote gates", "remote %",
+                      "depth original", "depth async_buf", "speedup",
+                      "fid async_buf"});
+
+  for (const int degree : {3, 4, 6, 8}) {
+    Rng rng(7000 + static_cast<std::uint64_t>(degree));
+    const Circuit qc = gen::make_qaoa_regular(qubits, degree, rng);
+    const auto part = runtime::partition_circuit(qc, 2);
+    const auto placement = sched::classify_gates(qc, part.assignment);
+    const double remote_share =
+        100.0 * static_cast<double>(placement.num_remote_2q) /
+        static_cast<double>(qc.count_2q());
+
+    const auto original = runtime::run_design(
+        qc, part.assignment, config, runtime::DesignKind::Original, 25);
+    const auto buffered = runtime::run_design(
+        qc, part.assignment, config, runtime::DesignKind::AsyncBuf, 25);
+
+    table.add_row({TablePrinter::fmt(degree),
+                   TablePrinter::fmt(qc.count_2q()),
+                   TablePrinter::fmt(placement.num_remote_2q),
+                   TablePrinter::fmt(remote_share, 1) + "%",
+                   TablePrinter::fmt(original.depth.mean(), 1),
+                   TablePrinter::fmt(buffered.depth.mean(), 1),
+                   TablePrinter::fmt(
+                       original.depth.mean() / buffered.depth.mean(), 2) + "x",
+                   TablePrinter::fmt(buffered.fidelity.mean(), 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: denser graphs put more weight across any balanced "
+               "partition, so the remote-gate share grows with degree, and "
+               "with it both the buffered architecture's advantage over the "
+               "bufferless baseline and the total fidelity cost.\n";
+  return 0;
+}

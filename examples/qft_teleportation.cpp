@@ -1,0 +1,60 @@
+/// \file qft_teleportation.cpp
+/// \brief Domain example: distributed QFT, the remote-gate-heavy extreme.
+///
+/// QFT needs all-to-all connectivity: any balanced 2-node split of n qubits
+/// makes (n/2)^2 of its n(n-1)/2 controlled-phase gates remote. This
+/// example scales n and shows (a) the forced remote fraction, (b) how the
+/// architecture designs cope, and (c) the fidelity cliff that makes
+/// distributed QFT the paper's stress test.
+///
+/// Run: ./qft_teleportation
+
+#include <iostream>
+
+#include "dqcsim.hpp"
+
+int main() {
+  using namespace dqcsim;
+  runtime::ArchConfig config;
+
+  std::cout << "Distributed QFT on a 2-node architecture (10 comm + 10 "
+               "buffer qubits per node)\n\n";
+
+  TablePrinter table({"n", "CP gates", "remote", "depth original",
+                      "depth async_buf", "depth init_buf", "rel. ideal",
+                      "fid async_buf"});
+
+  for (const int n : {8, 16, 24, 32}) {
+    const Circuit qc = gen::make_qft(n);
+    const auto part = runtime::partition_circuit(qc, 2);
+    const auto placement = sched::classify_gates(qc, part.assignment);
+    const double ideal = runtime::ideal_depth(qc, config);
+
+    const auto original = runtime::run_design(
+        qc, part.assignment, config, runtime::DesignKind::Original, 15);
+    const auto async = runtime::run_design(
+        qc, part.assignment, config, runtime::DesignKind::AsyncBuf, 15);
+    const auto init = runtime::run_design(
+        qc, part.assignment, config, runtime::DesignKind::InitBuf, 15);
+
+    table.add_row(
+        {TablePrinter::fmt(n), TablePrinter::fmt(qc.count_2q()),
+         TablePrinter::fmt(placement.num_remote_2q),
+         TablePrinter::fmt(original.depth.mean(), 1),
+         TablePrinter::fmt(async.depth.mean(), 1),
+         TablePrinter::fmt(init.depth.mean(), 1),
+         TablePrinter::fmt(init.depth.mean() / ideal, 2),
+         TablePrinter::fmt(async.fidelity.mean(), 4)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nThe remote-gate count grows quadratically ((n/2)^2), so the "
+         "link's generation rate (comm_pairs * p_succ / T_EG = 0.4 pairs "
+         "per t_CNOT) becomes the hard bottleneck: depth scales with the "
+         "remote count for every design, buffering mainly removes the "
+         "waste, and fidelity collapses once hundreds of teleported gates "
+         "stack up — exactly the paper's argument for why partitioning "
+         "quality and entanglement throughput dominate DQC performance.\n";
+  return 0;
+}

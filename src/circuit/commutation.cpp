@@ -1,0 +1,72 @@
+#include "circuit/commutation.hpp"
+
+namespace dqcsim {
+namespace {
+
+bool is_x_axis(GateKind kind) noexcept {
+  return kind == GateKind::X || kind == GateKind::RX;
+}
+
+/// True if every operand of `g` that overlaps gate `cx` touches only
+/// `cx`'s control qubit.
+bool touches_only_control(const Gate& g, const Gate& cx) noexcept {
+  for (int i = 0; i < g.arity(); ++i) {
+    const QubitId q = g.qubits[static_cast<std::size_t>(i)];
+    if (q == cx.q1()) return false;  // touches target
+  }
+  return true;
+}
+
+/// True if every operand of `g` that overlaps gate `cx` touches only
+/// `cx`'s target qubit.
+bool touches_only_target(const Gate& g, const Gate& cx) noexcept {
+  for (int i = 0; i < g.arity(); ++i) {
+    const QubitId q = g.qubits[static_cast<std::size_t>(i)];
+    if (q == cx.q0()) return false;  // touches control
+  }
+  return true;
+}
+
+bool commutes_with_cx(const Gate& g, const Gate& cx) noexcept {
+  // Z-diagonal gate acting only on the control wire of the CX.
+  if (is_diagonal(g.kind) && touches_only_control(g, cx)) return true;
+  // X-axis one-qubit gate acting only on the target wire.
+  if (g.arity() == 1 && is_x_axis(g.kind) && touches_only_target(g, cx)) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool gates_commute(const Gate& a, const Gate& b) noexcept {
+  if (!a.overlaps(b)) return true;
+  if (a == b) return true;
+
+  // Measurements pin the ordering of anything they overlap.
+  if (a.kind == GateKind::Measure || b.kind == GateKind::Measure) return false;
+
+  // Mutually diagonal gates commute on any overlap.
+  if (is_diagonal(a.kind) && is_diagonal(b.kind)) return true;
+
+  const bool a_is_cx = (a.kind == GateKind::CX);
+  const bool b_is_cx = (b.kind == GateKind::CX);
+
+  if (a_is_cx && b_is_cx) {
+    // Overlapping CX pairs commute iff they share only controls or only
+    // targets (no control-of-one = target-of-other wire).
+    const bool cross = (a.q0() == b.q1()) || (a.q1() == b.q0());
+    return !cross;
+  }
+  if (a_is_cx) return commutes_with_cx(b, a);
+  if (b_is_cx) return commutes_with_cx(a, b);
+
+  // Same-axis one-qubit rotations commute (e.g. RX with RX or X).
+  if (a.arity() == 1 && b.arity() == 1) {
+    if (is_x_axis(a.kind) && is_x_axis(b.kind)) return true;
+  }
+
+  return false;
+}
+
+}  // namespace dqcsim

@@ -1,0 +1,30 @@
+/// \file commutation.hpp
+/// \brief Conservative pairwise gate commutation analysis.
+///
+/// The adaptive scheduler (paper §III-D) derives ASAP/ALAP variants of a
+/// circuit segment by commuting remote gates past neighbouring gates. Moving
+/// a gate is legal only when it commutes with every gate it passes, so the
+/// scheduler relies on this predicate. The rules are *sound but incomplete*:
+/// `gates_commute` may return false for gates that in fact commute, but never
+/// returns true for gates that do not.
+
+#pragma once
+
+#include "circuit/gate.hpp"
+
+namespace dqcsim {
+
+/// True when exchanging the two gates provably leaves the unitary unchanged.
+///
+/// Rules implemented:
+///  - gates on disjoint qubits always commute;
+///  - Z-diagonal gates (Z, S, Sdg, T, Tdg, RZ, CZ, CP, RZZ) mutually commute;
+///  - a Z-diagonal gate commutes with CX when it only touches the CX control;
+///  - X-axis gates (X, RX) commute with CX when they only touch the CX target;
+///  - CX pairs sharing only controls, or only targets, commute;
+///  - identical gates commute;
+///  - everything else is conservatively reported as non-commuting.
+/// Measurements never commute with overlapping gates.
+bool gates_commute(const Gate& a, const Gate& b) noexcept;
+
+}  // namespace dqcsim

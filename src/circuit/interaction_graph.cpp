@@ -1,0 +1,15 @@
+#include "circuit/interaction_graph.hpp"
+
+namespace dqcsim {
+
+partition::Graph interaction_graph(const Circuit& circuit) {
+  partition::Graph g(circuit.num_qubits());
+  for (const Gate& gate : circuit.gates()) {
+    if (gate.arity() == 2) {
+      g.add_edge(gate.q0(), gate.q1(), 1);
+    }
+  }
+  return g;
+}
+
+}  // namespace dqcsim

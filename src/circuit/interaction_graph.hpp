@@ -1,0 +1,20 @@
+/// \file interaction_graph.hpp
+/// \brief Extraction of the qubit interaction graph from a circuit.
+///
+/// The interaction graph has one vertex per qubit and an edge {a, b} whose
+/// weight counts the two-qubit gates between a and b. It is the input to the
+/// partitioner: a balanced min-cut assignment of qubits to QPU nodes
+/// minimises the number of remote gates (paper §IV-A, baseline via METIS).
+
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "partition/graph.hpp"
+
+namespace dqcsim {
+
+/// Build the weighted interaction graph of `circuit`.
+/// Vertex i is qubit i; edge weight = multiplicity of 2Q gates on the pair.
+partition::Graph interaction_graph(const Circuit& circuit);
+
+}  // namespace dqcsim

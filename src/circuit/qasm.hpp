@@ -1,0 +1,36 @@
+/// \file qasm.hpp
+/// \brief OpenQASM 2.0 export/import for the circuit IR.
+///
+/// Lets users exchange workloads with the wider toolchain (Qiskit et al.):
+/// every IR gate maps to a standard-library QASM gate, and the importer
+/// accepts the same subset back (one quantum register, no classical control
+/// flow). Round-tripping a circuit is exact up to floating-point printing
+/// of angles (17 significant digits are emitted, so double round-trips are
+/// bit-faithful in practice).
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace dqcsim {
+
+/// Serialize `qc` as OpenQASM 2.0 (header, one qreg named "q", one creg
+/// when the circuit contains measurements).
+std::string to_qasm(const Circuit& qc);
+
+/// Write to_qasm(qc) into a stream.
+void write_qasm(const Circuit& qc, std::ostream& os);
+
+/// Parse an OpenQASM 2.0 program using the subset emitted by to_qasm:
+/// OPENQASM/include headers, a single qreg, optional cregs, the gates
+/// h x y z s sdg t tdg rx ry rz cx cz cp rzz swap, and measure.
+/// Throws ConfigError with a line number on anything else.
+Circuit from_qasm(const std::string& text);
+
+/// Parse a stream (see from_qasm).
+Circuit read_qasm(std::istream& is);
+
+}  // namespace dqcsim

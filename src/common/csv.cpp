@@ -1,0 +1,43 @@
+#include "common/csv.hpp"
+
+#include "common/error.hpp"
+
+namespace dqcsim {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), width_(header.size()) {
+  if (!out_) throw ConfigError("cannot open CSV output file: " + path);
+  DQCSIM_EXPECTS(!header.empty());
+  write_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  DQCSIM_EXPECTS_MSG(cells.size() == width_,
+                     "CSV row width must match header width");
+  write_row(cells);
+  ++rows_;
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace dqcsim

@@ -1,0 +1,37 @@
+/// \file csv.hpp
+/// \brief Minimal CSV writer so every benchmark can dump machine-readable
+/// series next to its console table (one file per figure/table).
+
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dqcsim {
+
+/// Writes RFC-4180-style CSV (quotes fields containing separators/quotes).
+class CsvWriter {
+ public:
+  /// Open `path` for writing and emit the header row.
+  /// Throws ConfigError if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Append one data row. Precondition: cells.size() == header width.
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Number of data rows written so far.
+  std::size_t rows_written() const noexcept { return rows_; }
+
+  /// Quote/escape a single field per RFC 4180 (exposed for testing).
+  static std::string escape(const std::string& field);
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+  std::size_t width_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace dqcsim

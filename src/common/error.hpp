@@ -1,0 +1,83 @@
+/// \file error.hpp
+/// \brief Error handling primitives shared across the dqcsim library.
+///
+/// Follows the C++ Core Guidelines (I.5/I.6, E.x): preconditions are checked
+/// at the public API boundary and violations throw a typed exception carrying
+/// the failing expression and location, so callers can distinguish usage
+/// errors from simulation-level failures.
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dqcsim {
+
+/// Exception thrown when a public-API precondition is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+/// Exception thrown when the simulation reaches an internally inconsistent
+/// state (an invariant, not a caller precondition, was violated).
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+/// Exception thrown when a configuration value is out of its valid domain.
+class ConfigError : public std::invalid_argument {
+ public:
+  explicit ConfigError(const std::string& what_arg)
+      : std::invalid_argument(what_arg) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  throw PreconditionError(std::string("precondition failed: ") + expr + " at " +
+                          file + ":" + std::to_string(line) +
+                          (msg.empty() ? "" : (" — " + msg)));
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  throw InvariantError(std::string("invariant violated: ") + expr + " at " +
+                       file + ":" + std::to_string(line) +
+                       (msg.empty() ? "" : (" — " + msg)));
+}
+
+}  // namespace detail
+}  // namespace dqcsim
+
+/// Check a caller-facing precondition; throws dqcsim::PreconditionError.
+#define DQCSIM_EXPECTS(expr)                                                  \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::dqcsim::detail::throw_precondition(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+/// Check a caller-facing precondition with an explanatory message.
+#define DQCSIM_EXPECTS_MSG(expr, msg)                                         \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::dqcsim::detail::throw_precondition(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Check an internal invariant; throws dqcsim::InvariantError.
+#define DQCSIM_ENSURES(expr)                                                  \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::dqcsim::detail::throw_invariant(#expr, __FILE__, __LINE__, "");       \
+  } while (false)
+
+/// Check an internal invariant with an explanatory message.
+#define DQCSIM_ENSURES_MSG(expr, msg)                                         \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::dqcsim::detail::throw_invariant(#expr, __FILE__, __LINE__, (msg));    \
+  } while (false)

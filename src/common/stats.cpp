@@ -1,0 +1,92 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dqcsim {
+
+void Accumulator::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void Accumulator::merge(const Accumulator& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n_total = na + nb;
+  mean_ += delta * nb / n_total;
+  m2_ += other.m2_ + delta * delta * na * nb / n_total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Accumulator::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Accumulator::stderr_mean() const noexcept {
+  return n_ == 0 ? 0.0 : stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double Accumulator::ci95_half_width() const noexcept {
+  return 1.96 * stderr_mean();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)) {
+  DQCSIM_EXPECTS(bins > 0);
+  DQCSIM_EXPECTS(lo < hi);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    idx = std::min(idx, counts_.size() - 1);  // guard fp rounding at hi edge
+    ++counts_[idx];
+  }
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const {
+  DQCSIM_EXPECTS(i < counts_.size());
+  return counts_[i];
+}
+
+double Histogram::bin_edge(std::size_t i) const {
+  DQCSIM_EXPECTS(i <= counts_.size());
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double mean_of(const std::vector<double>& xs) noexcept {
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  return acc.mean();
+}
+
+double stddev_of(const std::vector<double>& xs) noexcept {
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  return acc.stddev();
+}
+
+}  // namespace dqcsim

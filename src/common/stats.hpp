@@ -1,0 +1,94 @@
+/// \file stats.hpp
+/// \brief Streaming statistics used to aggregate multi-seed experiment runs.
+///
+/// The paper reports the average of 50 runs per configuration; Accumulator
+/// provides numerically stable mean/variance (Welford), extrema, and a 95 %
+/// normal-approximation confidence interval for those aggregates.
+
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace dqcsim {
+
+/// Numerically stable streaming mean / variance / extrema accumulator.
+class Accumulator {
+ public:
+  /// Add one observation.
+  void add(double x) noexcept;
+
+  /// Merge another accumulator into this one (parallel Welford merge).
+  void merge(const Accumulator& other) noexcept;
+
+  /// Number of observations added so far.
+  std::size_t count() const noexcept { return n_; }
+
+  /// Arithmetic mean; 0 when empty.
+  double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double variance() const noexcept;
+
+  /// Sample standard deviation.
+  double stddev() const noexcept;
+
+  /// Standard error of the mean.
+  double stderr_mean() const noexcept;
+
+  /// Half-width of the 95 % confidence interval for the mean
+  /// (normal approximation, appropriate for the 50-run averages used here).
+  double ci95_half_width() const noexcept;
+
+  /// Smallest observation; +inf when empty.
+  double min() const noexcept { return min_; }
+
+  /// Largest observation; -inf when empty.
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bin histogram over [lo, hi); used for arrival-pattern analysis.
+class Histogram {
+ public:
+  /// Create a histogram of `bins` equal-width bins covering [lo, hi).
+  /// Preconditions: bins > 0, lo < hi.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Record one observation; values outside [lo, hi) are counted in
+  /// underflow/overflow and do not affect the bins.
+  void add(double x) noexcept;
+
+  std::size_t num_bins() const noexcept { return counts_.size(); }
+  /// Count in bin i. Precondition: i < num_bins().
+  std::size_t bin_count(std::size_t i) const;
+  /// Lower edge of bin i. Precondition: i <= num_bins().
+  double bin_edge(std::size_t i) const;
+  std::size_t underflow() const noexcept { return underflow_; }
+  std::size_t overflow() const noexcept { return overflow_; }
+  std::size_t total() const noexcept { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// Population standard deviation of a sample (convenience for tests).
+double stddev_of(const std::vector<double>& xs) noexcept;
+
+/// Arithmetic mean of a sample; 0 when empty (convenience for tests).
+double mean_of(const std::vector<double>& xs) noexcept;
+
+}  // namespace dqcsim

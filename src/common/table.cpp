@@ -1,0 +1,68 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace dqcsim {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  DQCSIM_EXPECTS(!headers_.empty());
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  DQCSIM_EXPECTS_MSG(cells.size() == headers_.size(),
+                     "row width must match header count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TablePrinter::fmt(std::size_t v) { return std::to_string(v); }
+std::string TablePrinter::fmt(int v) { return std::to_string(v); }
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto emit_row = [&](const std::vector<std::string>& cells,
+                            bool left_align_first) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << " | ";
+      const auto pad = widths[c] - cells[c].size();
+      if (c == 0 && left_align_first) {
+        os << cells[c] << std::string(pad, ' ');
+      } else {
+        os << std::string(pad, ' ') << cells[c];
+      }
+    }
+    os << '\n';
+  };
+  emit_row(headers_, /*left_align_first=*/true);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) os << "-+-";
+    os << std::string(widths[c], '-');
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row, /*left_align_first=*/true);
+}
+
+std::string TablePrinter::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace dqcsim

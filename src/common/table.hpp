@@ -1,0 +1,51 @@
+/// \file table.hpp
+/// \brief Aligned console table printer used by the benchmark harness to
+/// reproduce the paper's tables and figure series as readable text output.
+
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dqcsim {
+
+/// Builds a table row by row and renders it with aligned columns.
+///
+/// Example output:
+/// ```
+/// benchmark     | design    |   depth | rel_ideal
+/// --------------+-----------+---------+----------
+/// QAOA-r8-32    | sync_buf  |  111.62 |      1.74
+/// ```
+class TablePrinter {
+ public:
+  /// Define the column headers; fixes the column count for all rows.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append a row of pre-formatted cells.
+  /// Precondition: cells.size() == number of headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Format a double with the given precision (helper for cells).
+  static std::string fmt(double v, int precision = 2);
+
+  /// Format an integer cell.
+  static std::string fmt(std::size_t v);
+  static std::string fmt(int v);
+
+  /// Render the table into the stream.
+  void print(std::ostream& os) const;
+
+  /// Render the table to a string.
+  std::string to_string() const;
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dqcsim

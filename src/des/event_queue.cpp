@@ -1,0 +1,61 @@
+#include "des/event_queue.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace dqcsim::des {
+
+EventId EventQueue::schedule(SimTime time, std::function<void()> action) {
+  DQCSIM_EXPECTS_MSG(std::isfinite(time) && time >= 0.0,
+                     "event time must be finite and nonnegative");
+  const EventId id = next_id_++;
+  heap_.push(Entry{time, id, std::move(action)});
+  ++pending_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  // Lazy cancellation: mark the id; the entry is skipped when it surfaces.
+  const bool inserted = cancelled_.insert(id).second;
+  if (!inserted) return false;
+  if (pending_ == 0) {
+    cancelled_.erase(id);
+    return false;
+  }
+  --pending_;
+  return true;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() &&
+         cancelled_.count(heap_.top().id) != 0) {
+    const_cast<std::unordered_set<EventId>&>(cancelled_).erase(heap_.top().id);
+    const_cast<decltype(heap_)&>(heap_).pop();
+  }
+}
+
+bool EventQueue::empty() const noexcept { return pending_ == 0; }
+
+SimTime EventQueue::next_time() const {
+  DQCSIM_EXPECTS(!empty());
+  drop_cancelled();
+  return heap_.top().time;
+}
+
+std::pair<SimTime, std::function<void()>> EventQueue::pop() {
+  DQCSIM_EXPECTS(!empty());
+  drop_cancelled();
+  // Safe: priority_queue::top() is const-ref; moving the action out requires
+  // a const_cast but the entry is popped immediately afterwards.
+  auto& top = const_cast<Entry&>(heap_.top());
+  std::pair<SimTime, std::function<void()>> result{top.time,
+                                                   std::move(top.action)};
+  heap_.pop();
+  --pending_;
+  return result;
+}
+
+}  // namespace dqcsim::des

@@ -1,0 +1,69 @@
+/// \file event_queue.hpp
+/// \brief Deterministic priority event queue for discrete-event simulation.
+///
+/// Events fire in nondecreasing time order; ties are broken by insertion
+/// order (FIFO), which keeps simulations bit-reproducible for a fixed seed.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace dqcsim::des {
+
+/// Simulation time. The runtime uses units of one local CNOT latency.
+using SimTime = double;
+
+/// Opaque handle identifying a scheduled event (usable for cancellation).
+using EventId = std::uint64_t;
+
+/// Min-heap of timestamped callbacks with stable FIFO tie-breaking and
+/// O(log n) lazy cancellation.
+class EventQueue {
+ public:
+  /// Schedule `action` to fire at absolute time `time`.
+  /// Precondition: time must be finite and >= 0.
+  EventId schedule(SimTime time, std::function<void()> action);
+
+  /// Cancel a previously scheduled event. Cancelling an already-fired or
+  /// unknown event is a no-op. Returns true if the event was pending.
+  bool cancel(EventId id);
+
+  /// True when no pending (non-cancelled) events remain.
+  bool empty() const noexcept;
+
+  /// Time of the earliest pending event. Precondition: !empty().
+  SimTime next_time() const;
+
+  /// Remove and return the earliest pending event's action and time.
+  /// Precondition: !empty().
+  std::pair<SimTime, std::function<void()>> pop();
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t size() const noexcept { return pending_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    std::function<void()> action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // earlier insertion first
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace dqcsim::des

@@ -1,0 +1,45 @@
+#include "des/simulator.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace dqcsim::des {
+
+EventId Simulator::schedule_at(SimTime t, std::function<void()> action) {
+  DQCSIM_EXPECTS_MSG(t >= now_, "cannot schedule an event in the past");
+  return queue_.schedule(t, std::move(action));
+}
+
+EventId Simulator::schedule_in(SimTime delay, std::function<void()> action) {
+  DQCSIM_EXPECTS_MSG(delay >= 0.0, "delay must be nonnegative");
+  return queue_.schedule(now_ + delay, std::move(action));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto [time, action] = queue_.pop();
+  now_ = time;
+  ++executed_;
+  action();
+  return true;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (executed < max_events && step()) ++executed;
+  return executed;
+}
+
+std::size_t Simulator::run_until(SimTime t_end) {
+  DQCSIM_EXPECTS_MSG(t_end >= now_, "cannot run backwards in time");
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.next_time() <= t_end) {
+    step();
+    ++executed;
+  }
+  now_ = t_end;
+  return executed;
+}
+
+}  // namespace dqcsim::des

@@ -1,0 +1,61 @@
+/// \file simulator.hpp
+/// \brief Discrete-event simulation engine: a clock plus an event queue.
+///
+/// Both the entanglement-generation service and the DQC runtime engine are
+/// processes driven by one shared Simulator, which is what lets gate
+/// execution react to EPR-pair arrivals at exact event timestamps.
+
+#pragma once
+
+#include <functional>
+
+#include "des/event_queue.hpp"
+
+namespace dqcsim::des {
+
+/// Event-driven simulation engine with an absolute clock.
+///
+/// Time never flows backwards: scheduling an event before `now()` throws.
+class Simulator {
+ public:
+  /// Current simulation time.
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedule `action` at absolute time `t`. Precondition: t >= now().
+  EventId schedule_at(SimTime t, std::function<void()> action);
+
+  /// Schedule `action` after a nonnegative delay relative to now().
+  EventId schedule_in(SimTime delay, std::function<void()> action);
+
+  /// Cancel a pending event; no-op if already fired. Returns true if pending.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Execute the single earliest pending event. Returns false if none.
+  bool step();
+
+  /// Run until the queue is empty or `max_events` have fired.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t max_events = kNoEventLimit);
+
+  /// Run events with time <= t_end, then advance the clock to exactly t_end.
+  /// Returns the number of events executed.
+  std::size_t run_until(SimTime t_end);
+
+  /// True when no pending events remain.
+  bool idle() const noexcept { return queue_.empty(); }
+
+  /// Number of pending events.
+  std::size_t pending_events() const noexcept { return queue_.size(); }
+
+  /// Total number of events executed since construction.
+  std::size_t executed_events() const noexcept { return executed_; }
+
+  static constexpr std::size_t kNoEventLimit = ~std::size_t{0};
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  std::size_t executed_ = 0;
+};
+
+}  // namespace dqcsim::des

@@ -1,0 +1,71 @@
+#include "ent/buffer_pool.hpp"
+
+#include "common/error.hpp"
+#include "noise/werner.hpp"
+
+namespace dqcsim::ent {
+
+BufferPool::BufferPool(int capacity, double f0, double kappa, double cutoff)
+    : capacity_(static_cast<std::size_t>(capacity)),
+      f0_(f0),
+      kappa_(kappa),
+      cutoff_(cutoff) {
+  DQCSIM_EXPECTS(capacity >= 0);
+  DQCSIM_EXPECTS(f0 >= 0.25 && f0 <= 1.0);
+  DQCSIM_EXPECTS(kappa >= 0.0);
+  DQCSIM_EXPECTS(cutoff > 0.0);
+}
+
+void BufferPool::expire_until(des::SimTime now) {
+  while (!pairs_.empty() && now - pairs_.front().deposited > cutoff_) {
+    pairs_.pop_front();
+    ++expired_;
+  }
+}
+
+std::size_t BufferPool::size(des::SimTime now) {
+  expire_until(now);
+  return pairs_.size();
+}
+
+bool BufferPool::deposit(des::SimTime now) {
+  expire_until(now);
+  if (pairs_.size() >= capacity_) {
+    ++rejected_;
+    return false;
+  }
+  pairs_.push_back(BufferedPair{now});
+  ++deposited_;
+  return true;
+}
+
+std::optional<BufferedPair> BufferPool::pop_oldest(des::SimTime now) {
+  expire_until(now);
+  if (pairs_.empty()) return std::nullopt;
+  BufferedPair pair = pairs_.front();
+  pairs_.pop_front();
+  ++consumed_;
+  return pair;
+}
+
+std::optional<BufferedPair> BufferPool::pop_freshest(des::SimTime now) {
+  expire_until(now);
+  if (pairs_.empty()) return std::nullopt;
+  BufferedPair pair = pairs_.back();
+  pairs_.pop_back();
+  ++consumed_;
+  return pair;
+}
+
+std::optional<BufferedPair> BufferPool::pop(des::SimTime now,
+                                            ConsumeOrder order) {
+  return order == ConsumeOrder::FreshestFirst ? pop_freshest(now)
+                                              : pop_oldest(now);
+}
+
+double BufferPool::fidelity_at_age(double age) const {
+  DQCSIM_EXPECTS(age >= 0.0);
+  return noise::werner_decayed_fidelity(f0_, kappa_, age);
+}
+
+}  // namespace dqcsim::ent

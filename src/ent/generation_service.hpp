@@ -1,0 +1,108 @@
+/// \file generation_service.hpp
+/// \brief Continuous heralded entanglement-generation service (§III-B/C).
+///
+/// Each communication-qubit pair runs attempt windows of length
+/// `cycle_time`; a window completes with a success with probability
+/// `p_succ`. Window phases are aligned (Synchronous) or staggered across
+/// subgroups (Asynchronous). Two consumption modes:
+///
+///  - Buffered: successes are SWAPped into the BufferPool (availability is
+///    delayed by `swap_latency`); the arrival handler is notified at
+///    deposit time. If the pool is full the pair is wasted. Attempt windows
+///    stay on the per-pair phase grid — the SWAP is handled by the buffer
+///    layer and does not re-phase the communication qubits, which preserves
+///    the paper's synchronous burst pattern (Fig. 3).
+///
+///  - OnDemand (the paper's bufferless `original` design): a success exists
+///    only at its heralding instant. The arrival handler may consume it by
+///    returning true; otherwise the pair is wasted, reproducing the
+///    "significant EPR pair waste" of the no-buffer design (§V-A).
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "des/simulator.hpp"
+#include "ent/buffer_pool.hpp"
+#include "ent/link_params.hpp"
+#include "ent/trace.hpp"
+
+namespace dqcsim::ent {
+
+/// How successful pairs are delivered.
+enum class ServiceMode {
+  Buffered,
+  OnDemand,
+};
+
+/// Event-driven generation service over one inter-node link.
+class GenerationService {
+ public:
+  /// Called on pair availability. In OnDemand mode the return value
+  /// indicates whether the pair was consumed on the spot (false = wasted);
+  /// in Buffered mode it is ignored (the pair is already in the buffer).
+  using ArrivalHandler = std::function<bool(des::SimTime)>;
+
+  /// The service schedules its events on `sim` and draws from `rng`; both
+  /// must outlive the service. `params` is validated on construction.
+  GenerationService(des::Simulator& sim, const LinkParams& params, Rng& rng,
+                    ServiceMode mode);
+
+  /// Begin attempting: the first window of pair p completes at
+  /// offset(p) + cycle_time. Idempotent once started.
+  void start();
+
+  /// Stop scheduling further attempt windows (already-scheduled completions
+  /// still fire but do nothing).
+  void stop() noexcept { running_ = false; }
+
+  /// Fill the buffer to capacity with fresh pairs at the current simulation
+  /// time (the paper's init_buf pre-initialization).
+  /// Precondition: Buffered mode.
+  void pre_fill_buffer();
+
+  void set_arrival_handler(ArrivalHandler handler) {
+    handler_ = std::move(handler);
+  }
+
+  BufferPool& buffer() noexcept { return buffer_; }
+  const BufferPool& buffer() const noexcept { return buffer_; }
+  const ArrivalTrace& trace() const noexcept { return trace_; }
+  const LinkParams& params() const noexcept { return params_; }
+  ServiceMode mode() const noexcept { return mode_; }
+
+  /// Phase offset of pair p's attempt windows.
+  double offset_of(int pair_index) const;
+
+  // Lifetime counters.
+  std::size_t attempts() const noexcept { return attempts_; }
+  std::size_t successes() const noexcept { return successes_; }
+  /// Buffered-mode successes dropped because the pool was full.
+  std::size_t wasted_buffer_full() const noexcept {
+    return wasted_buffer_full_;
+  }
+  /// OnDemand-mode successes with no consumer at the heralding instant.
+  std::size_t wasted_unconsumed() const noexcept { return wasted_unconsumed_; }
+
+ private:
+  void schedule_completion(int pair_index, des::SimTime completion);
+  void on_window_complete(int pair_index);
+
+  des::Simulator& sim_;
+  LinkParams params_;
+  Rng& rng_;
+  ServiceMode mode_;
+  BufferPool buffer_;
+  ArrivalTrace trace_;
+  ArrivalHandler handler_;
+  bool started_ = false;
+  bool running_ = false;
+  std::size_t attempts_ = 0;
+  std::size_t successes_ = 0;
+  std::size_t wasted_buffer_full_ = 0;
+  std::size_t wasted_unconsumed_ = 0;
+};
+
+}  // namespace dqcsim::ent

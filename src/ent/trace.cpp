@@ -1,0 +1,39 @@
+#include "ent/trace.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace dqcsim::ent {
+
+void ArrivalTrace::record(des::SimTime t) {
+  DQCSIM_EXPECTS(t >= 0.0);
+  arrivals_.push_back(t);
+}
+
+std::vector<std::size_t> ArrivalTrace::binned_counts(double bin_width,
+                                                     double horizon) const {
+  DQCSIM_EXPECTS(bin_width > 0.0);
+  DQCSIM_EXPECTS(horizon > 0.0);
+  const auto num_bins =
+      static_cast<std::size_t>(std::ceil(horizon / bin_width));
+  std::vector<std::size_t> counts(num_bins, 0);
+  for (des::SimTime t : arrivals_) {
+    if (t >= horizon) continue;
+    auto bin = static_cast<std::size_t>(t / bin_width);
+    if (bin >= num_bins) bin = num_bins - 1;
+    ++counts[bin];
+  }
+  return counts;
+}
+
+double ArrivalTrace::burstiness(double bin_width, double horizon) const {
+  const auto counts = binned_counts(bin_width, horizon);
+  Accumulator acc;
+  for (std::size_t c : counts) acc.add(static_cast<double>(c));
+  if (acc.mean() <= 0.0) return 0.0;
+  return acc.stddev() / acc.mean();
+}
+
+}  // namespace dqcsim::ent

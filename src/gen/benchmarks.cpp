@@ -1,0 +1,74 @@
+#include "gen/benchmarks.hpp"
+
+#include "common/error.hpp"
+#include "gen/qaoa.hpp"
+#include "gen/qft.hpp"
+#include "gen/tlim.hpp"
+
+namespace dqcsim::gen {
+namespace {
+
+Circuit make_qaoa_benchmark(int qubits, int degree, std::uint64_t seed) {
+  Rng rng(seed);
+  return make_qaoa_regular(qubits, degree, rng);
+}
+
+}  // namespace
+
+std::vector<BenchmarkId> all_benchmarks() {
+  return {BenchmarkId::TLIM_32,    BenchmarkId::QAOA_R4_32,
+          BenchmarkId::QAOA_R8_32, BenchmarkId::QFT_32,
+          BenchmarkId::QAOA_R4_64, BenchmarkId::QAOA_R8_64};
+}
+
+std::vector<BenchmarkId> benchmarks_32q() {
+  return {BenchmarkId::TLIM_32, BenchmarkId::QAOA_R4_32,
+          BenchmarkId::QAOA_R8_32, BenchmarkId::QFT_32};
+}
+
+std::string benchmark_name(BenchmarkId id) {
+  switch (id) {
+    case BenchmarkId::TLIM_32: return "TLIM-32";
+    case BenchmarkId::QAOA_R4_32: return "QAOA-r4-32";
+    case BenchmarkId::QAOA_R8_32: return "QAOA-r8-32";
+    case BenchmarkId::QFT_32: return "QFT-32";
+    case BenchmarkId::QAOA_R4_64: return "QAOA-r4-64";
+    case BenchmarkId::QAOA_R8_64: return "QAOA-r8-64";
+  }
+  throw PreconditionError("unknown benchmark id");
+}
+
+int benchmark_qubits(BenchmarkId id) {
+  switch (id) {
+    case BenchmarkId::TLIM_32:
+    case BenchmarkId::QAOA_R4_32:
+    case BenchmarkId::QAOA_R8_32:
+    case BenchmarkId::QFT_32:
+      return 32;
+    case BenchmarkId::QAOA_R4_64:
+    case BenchmarkId::QAOA_R8_64:
+      return 64;
+  }
+  throw PreconditionError("unknown benchmark id");
+}
+
+Circuit make_benchmark(BenchmarkId id) {
+  // QAOA graph seeds are arbitrary but frozen so Table I is reproducible.
+  switch (id) {
+    case BenchmarkId::TLIM_32:
+      return make_tlim(32, TlimParams{});
+    case BenchmarkId::QAOA_R4_32:
+      return make_qaoa_benchmark(32, 4, /*seed=*/0xA40432);
+    case BenchmarkId::QAOA_R8_32:
+      return make_qaoa_benchmark(32, 8, /*seed=*/0xA80832);
+    case BenchmarkId::QFT_32:
+      return make_qft(32);
+    case BenchmarkId::QAOA_R4_64:
+      return make_qaoa_benchmark(64, 4, /*seed=*/0xA40464);
+    case BenchmarkId::QAOA_R8_64:
+      return make_qaoa_benchmark(64, 8, /*seed=*/0xA80864);
+  }
+  throw PreconditionError("unknown benchmark id");
+}
+
+}  // namespace dqcsim::gen

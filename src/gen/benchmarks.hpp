@@ -1,0 +1,44 @@
+/// \file benchmarks.hpp
+/// \brief The paper's 6-benchmark suite (Table I) as named constructors.
+///
+/// Each benchmark fixes the circuit family, size, and (for QAOA) the random
+/// graph seed so every experiment in the reproduction sees exactly the same
+/// workload. The suite spans low (TLIM), medium (QAOA) and high (QFT)
+/// remote-gate density.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace dqcsim::gen {
+
+/// Identifiers for the paper's benchmark circuits.
+enum class BenchmarkId {
+  TLIM_32,
+  QAOA_R4_32,
+  QAOA_R8_32,
+  QFT_32,
+  QAOA_R4_64,
+  QAOA_R8_64,
+};
+
+/// All benchmarks in the order of the paper's Table I.
+std::vector<BenchmarkId> all_benchmarks();
+
+/// The 32-qubit subset used in Figures 5 and 6.
+std::vector<BenchmarkId> benchmarks_32q();
+
+/// Paper's display name, e.g. "QAOA-r4-32".
+std::string benchmark_name(BenchmarkId id);
+
+/// Number of qubits of the benchmark.
+int benchmark_qubits(BenchmarkId id);
+
+/// Construct the benchmark circuit (deterministic: QAOA graph seeds are
+/// fixed per benchmark).
+Circuit make_benchmark(BenchmarkId id);
+
+}  // namespace dqcsim::gen

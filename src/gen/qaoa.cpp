@@ -1,0 +1,35 @@
+#include "gen/qaoa.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace dqcsim::gen {
+
+Circuit make_qaoa_maxcut(const EdgeList& graph, const QaoaParams& params) {
+  DQCSIM_EXPECTS(graph.num_vertices >= 2);
+  DQCSIM_EXPECTS(params.layers >= 1);
+  Circuit qc(graph.num_vertices,
+             "QAOA-" + std::to_string(graph.num_vertices));
+  for (QubitId q = 0; q < graph.num_vertices; ++q) qc.h(q);
+  for (int layer = 0; layer < params.layers; ++layer) {
+    for (const auto& [a, b] : graph.edges) {
+      qc.rzz(a, b, 2.0 * params.gamma);
+    }
+    for (QubitId q = 0; q < graph.num_vertices; ++q) {
+      qc.rx(q, 2.0 * params.beta);
+    }
+  }
+  return qc;
+}
+
+Circuit make_qaoa_regular(int num_qubits, int degree, Rng& rng,
+                          const QaoaParams& params) {
+  const EdgeList graph = random_regular_graph(num_qubits, degree, rng);
+  Circuit qc = make_qaoa_maxcut(graph, params);
+  qc.set_name("QAOA-r" + std::to_string(degree) + "-" +
+              std::to_string(num_qubits));
+  return qc;
+}
+
+}  // namespace dqcsim::gen

@@ -1,0 +1,33 @@
+/// \file qaoa.hpp
+/// \brief QAOA MaxCut benchmark circuits (paper §IV-A).
+///
+/// One QAOA layer for MaxCut on graph G applies RZZ(2*gamma) on every edge
+/// (the cost Hamiltonian) followed by RX(2*beta) on every qubit (the mixer);
+/// the circuit starts from |+>^n via a Hadamard layer. Degree-4 and
+/// degree-8 regular graphs give the paper's medium remote-gate densities.
+
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "gen/regular_graph.hpp"
+
+namespace dqcsim::gen {
+
+/// QAOA parameters. Angles only affect gate parameters (not structure), so
+/// the defaults are arbitrary-but-fixed nonzero values.
+struct QaoaParams {
+  int layers = 1;       ///< QAOA depth p
+  double gamma = 0.42;  ///< cost angle per layer
+  double beta = 0.31;   ///< mixer angle per layer
+};
+
+/// Build the QAOA MaxCut circuit for `graph`.
+/// Gate counts: n Hadamards, p * |E| RZZ gates, p * n RX gates.
+Circuit make_qaoa_maxcut(const EdgeList& graph, const QaoaParams& params = {});
+
+/// Convenience: QAOA on a fresh random d-regular graph (paper's
+/// "QAOA-r<d>-<n>" naming).
+Circuit make_qaoa_regular(int num_qubits, int degree, Rng& rng,
+                          const QaoaParams& params = {});
+
+}  // namespace dqcsim::gen

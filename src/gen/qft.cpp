@@ -1,0 +1,24 @@
+#include "gen/qft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace dqcsim::gen {
+
+Circuit make_qft(int num_qubits) {
+  DQCSIM_EXPECTS(num_qubits >= 1);
+  Circuit qc(num_qubits, "QFT-" + std::to_string(num_qubits));
+  for (QubitId i = 0; i < num_qubits; ++i) {
+    qc.h(i);
+    for (QubitId j = i + 1; j < num_qubits; ++j) {
+      const double angle =
+          std::numbers::pi / std::pow(2.0, static_cast<double>(j - i));
+      qc.cp(j, i, angle);
+    }
+  }
+  return qc;
+}
+
+}  // namespace dqcsim::gen

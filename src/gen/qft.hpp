@@ -1,0 +1,20 @@
+/// \file qft.hpp
+/// \brief Quantum Fourier Transform benchmark circuit (paper §IV-A).
+///
+/// QFT requires all-to-all connectivity and is the remote-gate-heavy extreme
+/// of the paper's benchmark suite: on a balanced 2-node split of 32 qubits
+/// it yields 256 remote and 240 local two-qubit gates (Table I).
+
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+namespace dqcsim::gen {
+
+/// Build the textbook n-qubit QFT: for each qubit i, an H followed by
+/// controlled-phase CP(pi/2^(j-i)) from every later qubit j. The optional
+/// final SWAP network (bit reversal) is omitted, matching the gate counts
+/// in the paper's Table I (n one-qubit gates, n(n-1)/2 two-qubit gates).
+Circuit make_qft(int num_qubits);
+
+}  // namespace dqcsim::gen

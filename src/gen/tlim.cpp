@@ -1,0 +1,32 @@
+#include "gen/tlim.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace dqcsim::gen {
+
+Circuit make_tlim(int num_qubits, const TlimParams& params) {
+  DQCSIM_EXPECTS(num_qubits >= 2);
+  DQCSIM_EXPECTS(params.steps >= 1);
+  Circuit qc(num_qubits, "TLIM-" + std::to_string(num_qubits));
+
+  const double zz_angle = -2.0 * params.coupling * params.dt;
+  const double z_angle = -2.0 * params.hz * params.dt;
+  const double x_angle = -2.0 * params.hx * params.dt;
+
+  for (int step = 0; step < params.steps; ++step) {
+    // Brick pattern: even bonds (0-1, 2-3, ...) then odd bonds (1-2, 3-4...).
+    for (QubitId q = 0; q + 1 < num_qubits; q += 2) {
+      qc.rzz(q, q + 1, zz_angle);
+    }
+    for (QubitId q = 1; q + 1 < num_qubits; q += 2) {
+      qc.rzz(q, q + 1, zz_angle);
+    }
+    for (QubitId q = 0; q < num_qubits; ++q) qc.rz(q, z_angle);
+    for (QubitId q = 0; q < num_qubits; ++q) qc.rx(q, x_angle);
+  }
+  return qc;
+}
+
+}  // namespace dqcsim::gen

@@ -1,0 +1,31 @@
+/// \file tlim.hpp
+/// \brief 1-D Transverse-Longitudinal Ising Model quench circuit (§IV-A).
+///
+/// Trotterized evolution of H = -J sum Z_i Z_{i+1} - h_x sum X_i
+/// - h_z sum Z_i on an open chain (Sopena et al., the paper's ref. [49]).
+/// One Trotter step = a brick pattern of RZZ on even then odd bonds,
+/// followed by RZ (longitudinal) and RX (transverse) on every qubit. The
+/// linear connectivity makes this the remote-gate-light extreme of the
+/// benchmark suite: a balanced 2-node split cuts exactly one bond, so the
+/// remote-gate count equals the number of Trotter steps.
+
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+namespace dqcsim::gen {
+
+/// TLIM quench parameters.
+struct TlimParams {
+  int steps = 10;        ///< Trotter steps (paper's TLIM-32 uses 10)
+  double dt = 0.1;       ///< Trotter time step
+  double coupling = 1.0; ///< Ising coupling J
+  double hx = 1.05;      ///< transverse field
+  double hz = 0.5;       ///< longitudinal field
+};
+
+/// Build the TLIM circuit on an open chain of `num_qubits` qubits.
+/// Gate counts per step: (n-1) RZZ in two brick layers, n RZ, n RX.
+Circuit make_tlim(int num_qubits, const TlimParams& params = {});
+
+}  // namespace dqcsim::gen

@@ -1,0 +1,31 @@
+#include "noise/purification.hpp"
+
+#include "common/error.hpp"
+
+namespace dqcsim::noise {
+
+PurificationOutcome purify_werner(double f1, double f2) {
+  DQCSIM_EXPECTS(f1 >= 0.25 && f1 <= 1.0);
+  DQCSIM_EXPECTS(f2 >= 0.25 && f2 <= 1.0);
+  const double g1 = (1.0 - f1) / 3.0;  // weight of each non-target Bell state
+  const double g2 = (1.0 - f2) / 3.0;
+  const double p_succ = f1 * f2 + f1 * g2 + f2 * g1 + 5.0 * g1 * g2;
+  const double f_out = (f1 * f2 + g1 * g2) / p_succ;
+  DQCSIM_ENSURES(p_succ > 0.0 && p_succ <= 1.0 + 1e-12);
+  DQCSIM_ENSURES(f_out >= 0.25 - 1e-12 && f_out <= 1.0 + 1e-12);
+  return PurificationOutcome{f_out, p_succ};
+}
+
+PurificationOutcome purify_werner_nested(double f, int rounds) {
+  DQCSIM_EXPECTS(f >= 0.25 && f <= 1.0);
+  DQCSIM_EXPECTS(rounds >= 0);
+  PurificationOutcome out{f, 1.0};
+  for (int r = 0; r < rounds; ++r) {
+    const PurificationOutcome step = purify_werner(out.fidelity, out.fidelity);
+    out.fidelity = step.fidelity;
+    out.success_probability *= step.success_probability;
+  }
+  return out;
+}
+
+}  // namespace dqcsim::noise

@@ -1,0 +1,37 @@
+/// \file purification.hpp
+/// \brief Recurrence-style entanglement purification on Werner pairs.
+///
+/// The architecture can spend two buffered EPR pairs to distill one pair of
+/// higher fidelity before a remote gate consumes it (BBPSSW protocol; the
+/// paper's companion work [53] optimizes buffer time with purification).
+/// For Werner inputs the output is again Werner-diagonal and the closed
+/// form below is exact under ideal local operations (the idealized-LOCC
+/// assumption is documented in DESIGN.md).
+
+#pragma once
+
+namespace dqcsim::noise {
+
+/// Outcome of one BBPSSW purification round on two Werner pairs.
+struct PurificationOutcome {
+  double fidelity = 0.0;          ///< output pair fidelity (on success)
+  double success_probability = 0.0;
+};
+
+/// BBPSSW round on Werner pairs of fidelities f1 and f2:
+///   p_succ = f1*f2 + f1*(1-f2)/3 + f2*(1-f1)/3 + 5*(1-f1)*(1-f2)/9
+///   F'     = (f1*f2 + (1-f1)*(1-f2)/9) / p_succ
+/// Preconditions: f1, f2 in [0.25, 1].
+PurificationOutcome purify_werner(double f1, double f2);
+
+/// Smallest Werner fidelity that purification can improve (the protocol's
+/// attractive threshold): pairs at or below 0.5 do not gain.
+inline constexpr double kPurificationThreshold = 0.5;
+
+/// Fidelity after `rounds` nested purification rounds starting from
+/// identical pairs of fidelity f (each round consumes two pairs of the
+/// previous level; success is assumed — use the returned probabilities for
+/// rate accounting). rounds == 0 returns f itself.
+PurificationOutcome purify_werner_nested(double f, int rounds);
+
+}  // namespace dqcsim::noise

@@ -1,0 +1,34 @@
+#include "noise/werner.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace dqcsim::noise {
+
+double werner_decayed_fidelity(double f0, double kappa, double t) {
+  DQCSIM_EXPECTS(f0 >= 0.25 && f0 <= 1.0);
+  DQCSIM_EXPECTS(kappa >= 0.0);
+  DQCSIM_EXPECTS(t >= 0.0);
+  const double decay = std::exp(-2.0 * kappa * t);
+  return f0 * decay + (1.0 - decay) * 0.25;
+}
+
+double werner_time_to_fidelity(double f0, double kappa, double f_min) {
+  DQCSIM_EXPECTS(f0 >= 0.25 && f0 <= 1.0);
+  DQCSIM_EXPECTS(kappa >= 0.0);
+  DQCSIM_EXPECTS(f_min > 0.25 && f_min <= 1.0);
+  if (f0 <= f_min) return 0.0;
+  if (kappa == 0.0) return std::numeric_limits<double>::infinity();
+  // f_min = f0 * d + (1 - d)/4  =>  d = (f_min - 1/4) / (f0 - 1/4).
+  const double d = (f_min - 0.25) / (f0 - 0.25);
+  return -std::log(d) / (2.0 * kappa);
+}
+
+double werner_weight_from_fidelity(double fidelity) {
+  DQCSIM_EXPECTS(fidelity >= 0.25 && fidelity <= 1.0);
+  return (4.0 * fidelity - 1.0) / 3.0;
+}
+
+}  // namespace dqcsim::noise

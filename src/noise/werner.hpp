@@ -1,0 +1,27 @@
+/// \file werner.hpp
+/// \brief Werner-state idling decay model for buffered EPR pairs (§IV-C).
+///
+/// The paper assumes generated Bell states are Werner states and that buffer
+/// qubits decohere through unbiased depolarizing channels with identical
+/// rate kappa on both halves, giving the closed form
+///   F(t) = F0 * exp(-2*kappa*t) + (1 - exp(-2*kappa*t)) / 4.
+
+#pragma once
+
+namespace dqcsim::noise {
+
+/// Bell-pair fidelity after idling both halves for time `t`.
+/// Preconditions: f0 in [0.25, 1], kappa >= 0, t >= 0.
+double werner_decayed_fidelity(double f0, double kappa, double t);
+
+/// Time at which the pair fidelity decays to `f_min` (inverse of the decay
+/// law); +infinity if f0 <= f_min is never reached going down... i.e.
+/// returns 0 when f0 <= f_min already. Preconditions as above plus
+/// f_min in (0.25, 1].
+double werner_time_to_fidelity(double f0, double kappa, double f_min);
+
+/// Werner weight w such that rho = w |Phi+><Phi+| + (1-w) I/4 has fidelity
+/// F: w = (4F - 1) / 3. Precondition: F in [0.25, 1].
+double werner_weight_from_fidelity(double fidelity);
+
+}  // namespace dqcsim::noise

@@ -1,0 +1,84 @@
+#include "partition/coarsen.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dqcsim::partition {
+
+CoarseLevel coarsen_heavy_edge_matching(const Graph& g, Rng& rng) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> visit_order(static_cast<std::size_t>(n));
+  for (NodeId u = 0; u < n; ++u) visit_order[static_cast<std::size_t>(u)] = u;
+  rng.shuffle(visit_order);
+
+  constexpr NodeId kUnmatched = -1;
+  std::vector<NodeId> match(static_cast<std::size_t>(n), kUnmatched);
+  for (NodeId u : visit_order) {
+    if (match[static_cast<std::size_t>(u)] != kUnmatched) continue;
+    NodeId best = kUnmatched;
+    Weight best_weight = 0;
+    for (const auto& [v, w] : g.neighbors(u)) {
+      if (match[static_cast<std::size_t>(v)] != kUnmatched) continue;
+      if (w > best_weight) {
+        best_weight = w;
+        best = v;
+      }
+    }
+    if (best != kUnmatched) {
+      match[static_cast<std::size_t>(u)] = best;
+      match[static_cast<std::size_t>(best)] = u;
+    } else {
+      match[static_cast<std::size_t>(u)] = u;  // matched with itself
+    }
+  }
+
+  // Assign coarse ids: each matched pair (u < v) or singleton gets one id.
+  std::vector<NodeId> fine_to_coarse(static_cast<std::size_t>(n), kUnmatched);
+  NodeId next_coarse = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    if (fine_to_coarse[static_cast<std::size_t>(u)] != kUnmatched) continue;
+    const NodeId v = match[static_cast<std::size_t>(u)];
+    fine_to_coarse[static_cast<std::size_t>(u)] = next_coarse;
+    fine_to_coarse[static_cast<std::size_t>(v)] = next_coarse;
+    ++next_coarse;
+  }
+
+  Graph coarse(next_coarse);
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeId cu = fine_to_coarse[static_cast<std::size_t>(u)];
+    if (match[static_cast<std::size_t>(u)] == u ||
+        u < match[static_cast<std::size_t>(u)]) {
+      Weight cw = g.node_weight(u);
+      if (match[static_cast<std::size_t>(u)] != u) {
+        cw += g.node_weight(match[static_cast<std::size_t>(u)]);
+      }
+      coarse.set_node_weight(cu, cw);
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeId cu = fine_to_coarse[static_cast<std::size_t>(u)];
+    for (const auto& [v, w] : g.neighbors(u)) {
+      if (u >= v) continue;  // visit each fine edge once
+      const NodeId cv = fine_to_coarse[static_cast<std::size_t>(v)];
+      if (cu != cv) coarse.add_edge(cu, cv, w);
+    }
+  }
+
+  DQCSIM_ENSURES(coarse.total_node_weight() == g.total_node_weight());
+  return CoarseLevel{std::move(coarse), std::move(fine_to_coarse)};
+}
+
+std::vector<int> project_assignment(
+    const std::vector<int>& coarse_assignment,
+    const std::vector<NodeId>& fine_to_coarse) {
+  std::vector<int> fine(fine_to_coarse.size());
+  for (std::size_t u = 0; u < fine_to_coarse.size(); ++u) {
+    const auto cu = static_cast<std::size_t>(fine_to_coarse[u]);
+    DQCSIM_EXPECTS(cu < coarse_assignment.size());
+    fine[u] = coarse_assignment[cu];
+  }
+  return fine;
+}
+
+}  // namespace dqcsim::partition

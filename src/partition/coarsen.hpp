@@ -1,0 +1,36 @@
+/// \file coarsen.hpp
+/// \brief Heavy-edge-matching coarsening for the multilevel partitioner.
+///
+/// Coarsening repeatedly contracts a maximal matching that prefers heavy
+/// edges, halving the graph while preserving cut structure — the same
+/// strategy METIS uses. Contracted vertex weights accumulate so balance
+/// constraints remain meaningful on coarse graphs.
+
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "partition/graph.hpp"
+
+namespace dqcsim::partition {
+
+/// One coarsening step: the coarse graph plus the fine→coarse vertex map.
+struct CoarseLevel {
+  Graph graph;                     ///< contracted graph
+  std::vector<NodeId> fine_to_coarse;  ///< size = fine graph's num_nodes()
+};
+
+/// Contract a heavy-edge maximal matching of `g`.
+///
+/// Vertices are visited in random order (`rng` breaks ties deterministically
+/// for a fixed seed); each unmatched vertex matches its heaviest unmatched
+/// neighbour. Unmatched vertices are copied through. The coarse graph keeps
+/// accumulated vertex weights and merged edge weights (self-edges dropped).
+CoarseLevel coarsen_heavy_edge_matching(const Graph& g, Rng& rng);
+
+/// Project a coarse-graph assignment back onto the fine graph.
+std::vector<int> project_assignment(const std::vector<int>& coarse_assignment,
+                                    const std::vector<NodeId>& fine_to_coarse);
+
+}  // namespace dqcsim::partition

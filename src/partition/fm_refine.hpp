@@ -1,0 +1,46 @@
+/// \file fm_refine.hpp
+/// \brief Fiduccia–Mattheyses 2-way refinement with a balance constraint.
+///
+/// Each pass tentatively moves every vertex once (highest-gain feasible move
+/// first, hill-climbing allowed) and then rolls back to the best prefix —
+/// the classic FM schedule. Passes repeat until a pass yields no improvement.
+
+#pragma once
+
+#include <vector>
+
+#include "partition/graph.hpp"
+
+namespace dqcsim::partition {
+
+/// Refinement options.
+struct FmOptions {
+  /// Maximum allowed ratio of a part's weight to its target weight.
+  /// 1.0 forces perfect balance (only possible when the targets are
+  /// achievable exactly).
+  double max_balance = 1.0;
+
+  /// Fraction of the total vertex weight that part 0 should hold
+  /// (0.5 = equal halves; recursive bisection uses other fractions).
+  double target_fraction = 0.5;
+
+  /// Upper bound on the number of full FM passes.
+  int max_passes = 16;
+};
+
+/// Statistics of one refinement invocation (for tests and diagnostics).
+struct FmStats {
+  Weight initial_cut = 0;
+  Weight final_cut = 0;
+  int passes = 0;
+  int moves_kept = 0;
+};
+
+/// Refine a bipartition in place; returns pass statistics.
+/// Preconditions: assignment has one entry in {0,1} per vertex and is
+/// feasible w.r.t. opts.max_balance (infeasible inputs are tolerated: the
+/// pass will move toward feasibility because only feasible moves are made).
+FmStats fm_refine_bipartition(const Graph& g, std::vector<int>& assignment,
+                              const FmOptions& opts = {});
+
+}  // namespace dqcsim::partition

@@ -1,0 +1,120 @@
+#include "partition/graph.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dqcsim::partition {
+
+Graph::Graph(NodeId n) {
+  DQCSIM_EXPECTS(n >= 0);
+  adj_.resize(static_cast<std::size_t>(n));
+  node_weight_.assign(static_cast<std::size_t>(n), 1);
+}
+
+void Graph::check_node(NodeId u) const {
+  DQCSIM_EXPECTS_MSG(u >= 0 && u < num_nodes(), "node id out of range");
+}
+
+void Graph::add_edge(NodeId u, NodeId v, Weight w) {
+  check_node(u);
+  check_node(v);
+  DQCSIM_EXPECTS_MSG(u != v, "self-loops are not allowed");
+  DQCSIM_EXPECTS_MSG(w > 0, "edge weight must be positive");
+  auto& au = adj_[static_cast<std::size_t>(u)];
+  auto it = std::find_if(au.begin(), au.end(),
+                         [v](const auto& p) { return p.first == v; });
+  if (it != au.end()) {
+    it->second += w;
+    auto& av = adj_[static_cast<std::size_t>(v)];
+    auto jt = std::find_if(av.begin(), av.end(),
+                           [u](const auto& p) { return p.first == u; });
+    jt->second += w;
+  } else {
+    au.emplace_back(v, w);
+    adj_[static_cast<std::size_t>(v)].emplace_back(u, w);
+    ++num_edges_;
+  }
+  total_edge_weight_ += w;
+}
+
+Weight Graph::edge_weight(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  for (const auto& [n, w] : adj_[static_cast<std::size_t>(u)]) {
+    if (n == v) return w;
+  }
+  return 0;
+}
+
+const std::vector<std::pair<NodeId, Weight>>& Graph::neighbors(
+    NodeId u) const {
+  check_node(u);
+  return adj_[static_cast<std::size_t>(u)];
+}
+
+Weight Graph::node_weight(NodeId u) const {
+  check_node(u);
+  return node_weight_[static_cast<std::size_t>(u)];
+}
+
+void Graph::set_node_weight(NodeId u, Weight w) {
+  check_node(u);
+  DQCSIM_EXPECTS_MSG(w > 0, "node weight must be positive");
+  node_weight_[static_cast<std::size_t>(u)] = w;
+}
+
+Weight Graph::total_node_weight() const noexcept {
+  Weight total = 0;
+  for (Weight w : node_weight_) total += w;
+  return total;
+}
+
+Weight Graph::weighted_degree(NodeId u) const {
+  check_node(u);
+  Weight total = 0;
+  for (const auto& [n, w] : adj_[static_cast<std::size_t>(u)]) total += w;
+  return total;
+}
+
+Weight cut_weight(const Graph& g, const std::vector<int>& assignment) {
+  DQCSIM_EXPECTS(assignment.size() ==
+                 static_cast<std::size_t>(g.num_nodes()));
+  Weight cut = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const auto& [v, w] : g.neighbors(u)) {
+      if (u < v && assignment[static_cast<std::size_t>(u)] !=
+                       assignment[static_cast<std::size_t>(v)]) {
+        cut += w;
+      }
+    }
+  }
+  return cut;
+}
+
+std::vector<Weight> part_weights(const Graph& g,
+                                 const std::vector<int>& assignment, int k) {
+  DQCSIM_EXPECTS(k > 0);
+  DQCSIM_EXPECTS(assignment.size() ==
+                 static_cast<std::size_t>(g.num_nodes()));
+  std::vector<Weight> weights(static_cast<std::size_t>(k), 0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const int p = assignment[static_cast<std::size_t>(u)];
+    DQCSIM_EXPECTS_MSG(p >= 0 && p < k, "part id out of range");
+    weights[static_cast<std::size_t>(p)] += g.node_weight(u);
+  }
+  return weights;
+}
+
+double balance_ratio(const Graph& g, const std::vector<int>& assignment,
+                     int k) {
+  const auto weights = part_weights(g, assignment, k);
+  const Weight total = g.total_node_weight();
+  if (total == 0) return 1.0;
+  const Weight heaviest = *std::max_element(weights.begin(), weights.end());
+  const double average =
+      static_cast<double>(total) / static_cast<double>(k);
+  return static_cast<double>(heaviest) / average;
+}
+
+}  // namespace dqcsim::partition

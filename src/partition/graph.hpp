@@ -1,0 +1,77 @@
+/// \file graph.hpp
+/// \brief Weighted undirected graph used by the multilevel partitioner.
+///
+/// Vertices carry integer weights (aggregated qubit multiplicities after
+/// coarsening); edges carry integer weights (two-qubit gate multiplicities).
+/// Parallel edge insertions accumulate into a single weighted edge.
+
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dqcsim::partition {
+
+using NodeId = std::int32_t;
+using Weight = std::int64_t;
+
+/// Undirected weighted graph with weighted vertices.
+class Graph {
+ public:
+  /// Create a graph with `n` vertices of unit weight and no edges.
+  explicit Graph(NodeId n = 0);
+
+  NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(adj_.size());
+  }
+
+  /// Number of distinct undirected edges.
+  std::size_t num_edges() const noexcept { return num_edges_; }
+
+  /// Add weight `w` to edge {u, v} (creating it if absent).
+  /// Preconditions: u != v, both in range, w > 0.
+  void add_edge(NodeId u, NodeId v, Weight w = 1);
+
+  /// Weight of edge {u, v}; 0 when the edge is absent.
+  Weight edge_weight(NodeId u, NodeId v) const;
+
+  /// Neighbour list of `u` as (neighbour, weight) pairs.
+  const std::vector<std::pair<NodeId, Weight>>& neighbors(NodeId u) const;
+
+  /// Vertex weight (1 unless set explicitly or aggregated by coarsening).
+  Weight node_weight(NodeId u) const;
+  void set_node_weight(NodeId u, Weight w);
+
+  /// Sum of all vertex weights.
+  Weight total_node_weight() const noexcept;
+
+  /// Sum of all edge weights.
+  Weight total_edge_weight() const noexcept { return total_edge_weight_; }
+
+  /// Sum of weights of edges incident to `u`.
+  Weight weighted_degree(NodeId u) const;
+
+ private:
+  void check_node(NodeId u) const;
+
+  std::vector<std::vector<std::pair<NodeId, Weight>>> adj_;
+  std::vector<Weight> node_weight_;
+  std::size_t num_edges_ = 0;
+  Weight total_edge_weight_ = 0;
+};
+
+/// Total weight of edges crossing between different parts.
+/// Precondition: assignment.size() == graph.num_nodes(); entries in [0, k).
+Weight cut_weight(const Graph& g, const std::vector<int>& assignment);
+
+/// Weight of the heaviest part divided by the average part weight
+/// (1.0 = perfectly balanced).
+double balance_ratio(const Graph& g, const std::vector<int>& assignment,
+                     int k);
+
+/// Per-part total vertex weights.
+std::vector<Weight> part_weights(const Graph& g,
+                                 const std::vector<int>& assignment, int k);
+
+}  // namespace dqcsim::partition

@@ -1,0 +1,176 @@
+#include "partition/initial_partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace dqcsim::partition {
+namespace {
+
+Weight target_weight(const Graph& g, double fraction) {
+  return static_cast<Weight>(
+      std::llround(fraction * static_cast<double>(g.total_node_weight())));
+}
+
+/// Deviation of part 0's weight from the requested target (for ranking
+/// infeasible candidates).
+Weight target_deviation(const Graph& g, const std::vector<int>& assignment,
+                        Weight target) {
+  Weight part0 = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (assignment[static_cast<std::size_t>(u)] == 0) part0 += g.node_weight(u);
+  }
+  return std::llabs(part0 - target);
+}
+
+}  // namespace
+
+std::vector<int> greedy_graph_growing_bipartition(const Graph& g, Rng& rng,
+                                                  double fraction) {
+  const NodeId n = g.num_nodes();
+  DQCSIM_EXPECTS(n >= 2);
+  DQCSIM_EXPECTS(fraction > 0.0 && fraction < 1.0);
+  std::vector<int> assignment(static_cast<std::size_t>(n), 1);
+
+  const Weight target = target_weight(g, fraction);
+  Weight grown = 0;
+
+  // gain[u] tracks 2 * (edge weight into part 0) for frontier candidates;
+  // maximizing it minimizes the eventual cut increase of adding u.
+  std::vector<Weight> gain(static_cast<std::size_t>(n), 0);
+  std::vector<char> in_part0(static_cast<std::size_t>(n), 0);
+  std::vector<char> on_frontier(static_cast<std::size_t>(n), 0);
+  std::vector<NodeId> frontier;
+
+  auto seed = static_cast<NodeId>(rng.uniform_int(
+      static_cast<std::uint64_t>(n)));
+  frontier.push_back(seed);
+  on_frontier[static_cast<std::size_t>(seed)] = 1;
+
+  while (grown < target) {
+    if (frontier.empty()) {
+      // Disconnected graph (or a drained frontier of over-weight vertices):
+      // restart from a vertex that still fits under the target. If nothing
+      // fits the target is unreachable exactly — stop rather than spin.
+      NodeId restart = -1;
+      for (NodeId u = 0; u < n; ++u) {
+        if (!in_part0[static_cast<std::size_t>(u)] &&
+            !on_frontier[static_cast<std::size_t>(u)] &&
+            grown + g.node_weight(u) <= target) {
+          restart = u;
+          break;
+        }
+      }
+      if (restart < 0) break;
+      frontier.push_back(restart);
+      on_frontier[static_cast<std::size_t>(restart)] = 1;
+    }
+
+    std::size_t best_idx = 0;
+    for (std::size_t i = 1; i < frontier.size(); ++i) {
+      if (gain[static_cast<std::size_t>(frontier[i])] >
+          gain[static_cast<std::size_t>(frontier[best_idx])]) {
+        best_idx = i;
+      }
+    }
+    const NodeId u = frontier[best_idx];
+    frontier[best_idx] = frontier.back();
+    frontier.pop_back();
+    on_frontier[static_cast<std::size_t>(u)] = 0;
+
+    if (grown + g.node_weight(u) > target && grown > 0) continue;
+
+    in_part0[static_cast<std::size_t>(u)] = 1;
+    assignment[static_cast<std::size_t>(u)] = 0;
+    grown += g.node_weight(u);
+    for (const auto& [v, w] : g.neighbors(u)) {
+      if (in_part0[static_cast<std::size_t>(v)]) continue;
+      gain[static_cast<std::size_t>(v)] += 2 * w;
+      if (!on_frontier[static_cast<std::size_t>(v)]) {
+        on_frontier[static_cast<std::size_t>(v)] = 1;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return assignment;
+}
+
+std::vector<int> random_balanced_bipartition(const Graph& g, Rng& rng,
+                                             double fraction) {
+  const NodeId n = g.num_nodes();
+  DQCSIM_EXPECTS(n >= 2);
+  DQCSIM_EXPECTS(fraction > 0.0 && fraction < 1.0);
+  std::vector<NodeId> order(static_cast<std::size_t>(n));
+  for (NodeId u = 0; u < n; ++u) order[static_cast<std::size_t>(u)] = u;
+  rng.shuffle(order);
+
+  std::vector<int> assignment(static_cast<std::size_t>(n), 1);
+  const Weight target = target_weight(g, fraction);
+  Weight grown = 0;
+  for (NodeId u : order) {
+    if (grown + g.node_weight(u) > target) continue;
+    assignment[static_cast<std::size_t>(u)] = 0;
+    grown += g.node_weight(u);
+    if (grown == target) break;
+  }
+  return assignment;
+}
+
+std::vector<int> best_initial_bipartition(const Graph& g, Rng& rng,
+                                          int trials, double max_balance,
+                                          double fraction) {
+  DQCSIM_EXPECTS(g.num_nodes() >= 2);
+  DQCSIM_EXPECTS(trials > 0);
+  DQCSIM_EXPECTS(max_balance >= 1.0);
+  const Weight target = target_weight(g, fraction);
+  // Feasibility window for part-0 weight around the target.
+  const auto lo = static_cast<Weight>(
+      std::floor(static_cast<double>(target) / max_balance));
+  const auto hi = static_cast<Weight>(
+      std::ceil(static_cast<double>(target) * max_balance));
+
+  std::vector<int> best;
+  Weight best_cut = std::numeric_limits<Weight>::max();
+  Weight best_dev = std::numeric_limits<Weight>::max();
+  bool best_feasible = false;
+
+  const auto consider = [&](std::vector<int> candidate) {
+    const Weight cut = cut_weight(g, candidate);
+    const Weight dev = target_deviation(g, candidate, target);
+    Weight part0 = target - dev <= target ? target - dev : target + dev;
+    // Recompute part0 exactly for the window test.
+    part0 = 0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (candidate[static_cast<std::size_t>(u)] == 0) {
+        part0 += g.node_weight(u);
+      }
+    }
+    const bool feasible = part0 >= lo && part0 <= hi;
+    bool better;
+    if (best.empty()) {
+      better = true;
+    } else if (feasible != best_feasible) {
+      better = feasible;
+    } else if (feasible) {
+      better = cut < best_cut;
+    } else {
+      better = dev < best_dev;
+    }
+    if (better) {
+      best = std::move(candidate);
+      best_cut = cut;
+      best_dev = dev;
+      best_feasible = feasible;
+    }
+  };
+
+  for (int t = 0; t < trials; ++t) {
+    consider(greedy_graph_growing_bipartition(g, rng, fraction));
+    consider(random_balanced_bipartition(g, rng, fraction));
+  }
+  return best;
+}
+
+}  // namespace dqcsim::partition

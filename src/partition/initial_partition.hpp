@@ -1,0 +1,38 @@
+/// \file initial_partition.hpp
+/// \brief Initial bipartition heuristics applied at the coarsest level.
+///
+/// Two seeds are tried per trial: greedy graph growing (BFS region growing
+/// by gain) and a balanced random split. The multilevel driver takes the
+/// best of several trials before refinement.
+
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "partition/graph.hpp"
+
+namespace dqcsim::partition {
+
+/// Grow part 0 greedily from a random seed vertex until it holds
+/// `fraction` of the total vertex weight; remaining vertices form part 1.
+/// At each step the frontier vertex with the highest gain (external minus
+/// internal edge weight) joins part 0. Precondition: 0 < fraction < 1.
+std::vector<int> greedy_graph_growing_bipartition(const Graph& g, Rng& rng,
+                                                  double fraction = 0.5);
+
+/// Random bipartition: vertices are shuffled and assigned to part 0 until
+/// `fraction` of the total weight is reached. Precondition: 0 < fraction < 1.
+std::vector<int> random_balanced_bipartition(const Graph& g, Rng& rng,
+                                             double fraction = 0.5);
+
+/// Run `trials` of each heuristic and return the assignment with the
+/// smallest cut among those within the part-0 weight window
+/// [fraction*total/max_balance, fraction*total*max_balance] (and likewise
+/// for part 1); if none qualifies, the closest-to-balanced is returned.
+/// Precondition: g.num_nodes() >= 2.
+std::vector<int> best_initial_bipartition(const Graph& g, Rng& rng,
+                                          int trials, double max_balance,
+                                          double fraction = 0.5);
+
+}  // namespace dqcsim::partition

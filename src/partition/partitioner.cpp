@@ -1,0 +1,143 @@
+#include "partition/partitioner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "partition/coarsen.hpp"
+#include "partition/initial_partition.hpp"
+
+namespace dqcsim::partition {
+namespace {
+
+/// One multilevel V-cycle: coarsen, initial-partition, uncoarsen + refine.
+std::vector<int> multilevel_bisect_once(const Graph& g, double fraction,
+                                        const PartitionOptions& opts,
+                                        Rng& rng) {
+  // Coarsening chain (level 0 = finest).
+  std::vector<CoarseLevel> levels;
+  const Graph* current = &g;
+  while (current->num_nodes() > opts.coarsen_target) {
+    CoarseLevel next = coarsen_heavy_edge_matching(*current, rng);
+    // Matching failed to shrink the graph (e.g. no edges): stop coarsening.
+    if (next.graph.num_nodes() >= current->num_nodes()) break;
+    levels.push_back(std::move(next));
+    current = &levels.back().graph;
+  }
+
+  FmOptions fm_opts;
+  fm_opts.max_balance = opts.max_balance;
+  fm_opts.target_fraction = fraction;
+  fm_opts.max_passes = opts.refine_passes;
+
+  std::vector<int> assignment = best_initial_bipartition(
+      *current, rng, opts.initial_trials, opts.max_balance, fraction);
+  fm_refine_bipartition(*current, assignment, fm_opts);
+
+  // Uncoarsen with refinement at every level.
+  for (std::size_t i = levels.size(); i-- > 0;) {
+    assignment = project_assignment(assignment, levels[i].fine_to_coarse);
+    const Graph& fine = (i == 0) ? g : levels[i - 1].graph;
+    fm_refine_bipartition(fine, assignment, fm_opts);
+  }
+  return assignment;
+}
+
+/// Best-of-`opts.restarts` multilevel bisection.
+std::vector<int> multilevel_bisect(const Graph& g, double fraction,
+                                   const PartitionOptions& opts, Rng& rng) {
+  std::vector<int> best;
+  Weight best_cut = 0;
+  const int restarts = std::max(1, opts.restarts);
+  for (int r = 0; r < restarts; ++r) {
+    std::vector<int> candidate = multilevel_bisect_once(g, fraction, opts, rng);
+    const Weight cut = cut_weight(g, candidate);
+    if (best.empty() || cut < best_cut) {
+      best = std::move(candidate);
+      best_cut = cut;
+    }
+  }
+  return best;
+}
+
+/// Extract the subgraph induced by vertices with `assignment[u] == side`;
+/// returns the subgraph and the local→global vertex map.
+std::pair<Graph, std::vector<NodeId>> induced_subgraph(
+    const Graph& g, const std::vector<int>& assignment, int side) {
+  std::vector<NodeId> global_of;
+  std::vector<NodeId> local_of(static_cast<std::size_t>(g.num_nodes()), -1);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (assignment[static_cast<std::size_t>(u)] == side) {
+      local_of[static_cast<std::size_t>(u)] =
+          static_cast<NodeId>(global_of.size());
+      global_of.push_back(u);
+    }
+  }
+  Graph sub(static_cast<NodeId>(global_of.size()));
+  for (NodeId lu = 0; lu < sub.num_nodes(); ++lu) {
+    const NodeId u = global_of[static_cast<std::size_t>(lu)];
+    sub.set_node_weight(lu, g.node_weight(u));
+    for (const auto& [v, w] : g.neighbors(u)) {
+      const NodeId lv = local_of[static_cast<std::size_t>(v)];
+      if (lv >= 0 && lu < lv) sub.add_edge(lu, lv, w);
+    }
+  }
+  return {std::move(sub), std::move(global_of)};
+}
+
+/// Recursively partition vertices of `g` into parts [part_base,
+/// part_base + k), writing part ids into `out` through `global_of`.
+void recursive_bisect(const Graph& g, const std::vector<NodeId>& global_of,
+                      int k, int part_base, const PartitionOptions& opts,
+                      Rng& rng, std::vector<int>& out) {
+  if (k == 1) {
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      out[static_cast<std::size_t>(global_of[static_cast<std::size_t>(u)])] =
+          part_base;
+    }
+    return;
+  }
+  const int k0 = k / 2;
+  const int k1 = k - k0;
+  const double fraction = static_cast<double>(k0) / static_cast<double>(k);
+  const std::vector<int> split = multilevel_bisect(g, fraction, opts, rng);
+
+  for (int side = 0; side < 2; ++side) {
+    auto [sub, sub_global] = induced_subgraph(g, split, side);
+    // Map the subgraph's local ids to ids in the original graph.
+    for (auto& id : sub_global) {
+      id = global_of[static_cast<std::size_t>(id)];
+    }
+    recursive_bisect(sub, sub_global, side == 0 ? k0 : k1,
+                     side == 0 ? part_base : part_base + k0, opts, rng, out);
+  }
+}
+
+}  // namespace
+
+PartitionResult multilevel_partition(const Graph& g, int k,
+                                     const PartitionOptions& opts) {
+  DQCSIM_EXPECTS(k >= 1);
+  DQCSIM_EXPECTS_MSG(k <= g.num_nodes(),
+                     "cannot split into more parts than vertices");
+  DQCSIM_EXPECTS(opts.max_balance >= 1.0);
+
+  Rng rng(opts.seed);
+  PartitionResult result;
+  result.k = k;
+  result.assignment.assign(static_cast<std::size_t>(g.num_nodes()), 0);
+
+  if (k > 1) {
+    std::vector<NodeId> identity(static_cast<std::size_t>(g.num_nodes()));
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      identity[static_cast<std::size_t>(u)] = u;
+    }
+    recursive_bisect(g, identity, k, 0, opts, rng, result.assignment);
+  }
+
+  result.cut = cut_weight(g, result.assignment);
+  result.balance = balance_ratio(g, result.assignment, k);
+  return result;
+}
+
+}  // namespace dqcsim::partition

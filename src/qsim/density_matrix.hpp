@@ -1,0 +1,122 @@
+/// \file density_matrix.hpp
+/// \brief Dense density-matrix simulator for small mixed-state systems.
+///
+/// The paper estimates remote-gate fidelity "through the evaluation of the
+/// gate teleportation circuit which includes a noisy Bell state, noisy local
+/// 2-qubit gates, and a noisy single-qubit measurement" (§IV-C). That
+/// evaluation involves at most a handful of qubits, so a dense 4^n
+/// representation is exact and fast. Qubit 0 is the least significant bit
+/// of the computational-basis index.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "qsim/gates_matrices.hpp"
+
+namespace dqcsim::qsim {
+
+/// Dense density matrix over `num_qubits` qubits (dim = 2^n).
+class DensityMatrix {
+ public:
+  /// Initialize to the pure state |0...0><0...0|.
+  /// Precondition: 1 <= num_qubits <= 14 (memory guard: 4^14 = 256 MB).
+  explicit DensityMatrix(int num_qubits);
+
+  /// Initialize from a pure state vector (normalized internally).
+  /// Precondition: amplitudes.size() == 2^num_qubits for some n in [1, 14].
+  explicit DensityMatrix(const std::vector<Complex>& amplitudes);
+
+  int num_qubits() const noexcept { return num_qubits_; }
+  std::size_t dim() const noexcept { return dim_; }
+
+  /// Matrix element rho[r][c].
+  Complex element(std::size_t r, std::size_t c) const;
+
+  /// Apply a one-qubit unitary on `q`: rho -> U rho U^dag.
+  void apply_1q(const Mat2& u, int q);
+
+  /// Apply a two-qubit unitary; `q_high` is the gate's first operand
+  /// (the high bit of the matrix index), `q_low` the second.
+  void apply_2q(const Mat4& u, int q_high, int q_low);
+
+  /// Apply a gate from the circuit IR (unitary kinds only).
+  void apply_gate(const Gate& g);
+
+  /// One-qubit Pauli channel: rho -> (1-px-py-pz) rho + px X rho X + ...
+  /// Preconditions: probabilities nonnegative, px+py+pz <= 1.
+  void pauli_channel(int q, double px, double py, double pz);
+
+  /// One-qubit depolarizing channel with probability p of full
+  /// depolarization (px = py = pz = p/4 convention is NOT used here:
+  /// rho -> (1-p) rho + p I/2 (x) tr_q rho).
+  void depolarize_1q(int q, double p);
+
+  /// Two-qubit depolarizing channel: rho -> (1-p) rho + p I/4 (x) tr rho.
+  void depolarize_2q(int q0, int q1, double p);
+
+  /// Probability of measuring `q` in state |1> (Born rule).
+  double prob_one(int q) const;
+
+  /// Projective Z measurement of `q` returning both branches:
+  /// result[outcome] = (probability, normalized post-measurement state).
+  /// Zero-probability branches carry an all-zero matrix.
+  struct MeasurementBranches {
+    double prob[2];
+    std::vector<DensityMatrix> state;  ///< size 2, indexed by outcome
+  };
+  MeasurementBranches measure_branches(int q) const;
+
+  /// Non-selective Z measurement (dephasing of `q`): off-diagnonal blocks
+  /// between |0>_q and |1>_q vanish.
+  void dephase(int q);
+
+  /// Trace out one qubit, returning the reduced density matrix.
+  DensityMatrix partial_trace(int q) const;
+
+  /// Trace of the matrix (1 for normalized states).
+  double trace() const;
+
+  /// Purity tr(rho^2).
+  double purity() const;
+
+  /// Fidelity with a pure state: <psi| rho |psi>.
+  /// Precondition: amplitudes.size() == dim().
+  double fidelity_with_pure(const std::vector<Complex>& psi) const;
+
+  /// Tensor product: this (low qubits) with other (high qubits).
+  DensityMatrix tensor(const DensityMatrix& other) const;
+
+  /// Hermitian check within tolerance (diagnostic).
+  bool is_hermitian(double tol = 1e-10) const;
+
+  // --- canonical states -----------------------------------------------
+
+  /// Convex-style combination wa * a + wb * b (weights may be any
+  /// nonnegative reals; callers are responsible for normalization).
+  /// Precondition: a.dim() == b.dim().
+  static DensityMatrix mix(const DensityMatrix& a, double wa,
+                           const DensityMatrix& b, double wb);
+
+  /// |Phi+> = (|00> + |11>)/sqrt(2) Bell pair on 2 qubits.
+  static DensityMatrix bell_phi_plus();
+
+  /// Werner state with fidelity F to |Phi+>:
+  /// rho = w |Phi+><Phi+| + (1-w) I/4 with w = (4F-1)/3.
+  /// Precondition: 0.25 <= F <= 1.
+  static DensityMatrix werner(double fidelity);
+
+ private:
+  DensityMatrix() = default;  // for internal construction
+
+  std::size_t idx(std::size_t r, std::size_t c) const noexcept {
+    return r * dim_ + c;
+  }
+
+  int num_qubits_ = 0;
+  std::size_t dim_ = 0;
+  std::vector<Complex> data_;  ///< row-major dim x dim
+};
+
+}  // namespace dqcsim::qsim

@@ -1,0 +1,85 @@
+#include "runtime/arch_config.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "sched/segmentation.hpp"
+
+namespace dqcsim::runtime {
+
+void ArchConfig::validate() const {
+  if (num_nodes < 2) {
+    throw ConfigError("ArchConfig: a DQC system needs at least two nodes");
+  }
+  if (comm_per_node < 1) {
+    throw ConfigError("ArchConfig: need at least one communication qubit");
+  }
+  if (buffer_per_node < 0) {
+    throw ConfigError("ArchConfig: buffer count must be nonnegative");
+  }
+  if (!(p_succ > 0.0 && p_succ <= 1.0)) {
+    throw ConfigError("ArchConfig: p_succ must be in (0, 1]");
+  }
+  if (kappa < 0.0) {
+    throw ConfigError("ArchConfig: kappa must be nonnegative");
+  }
+  if (!(buffer_cutoff > 0.0)) {
+    throw ConfigError("ArchConfig: buffer cutoff must be positive");
+  }
+  if (async_subgroups < 1) {
+    throw ConfigError("ArchConfig: async_subgroups must be at least 1");
+  }
+  if (lat.one_qubit < 0.0 || lat.local_cnot <= 0.0 || lat.measurement < 0.0 ||
+      lat.epr_cycle <= 0.0 || lat.swap_buffer < 0.0 ||
+      lat.remote_gate <= 0.0 || lat.remote_gate_state <= 0.0) {
+    throw ConfigError("ArchConfig: latencies out of domain");
+  }
+  if (purification_latency < 0.0) {
+    throw ConfigError("ArchConfig: purification latency must be nonnegative");
+  }
+  const auto fid_ok = [](double f) { return f > 0.0 && f <= 1.0; };
+  if (!fid_ok(fid.one_qubit) || !fid_ok(fid.local_cnot) ||
+      !fid_ok(fid.measurement)) {
+    throw ConfigError("ArchConfig: gate fidelities must be in (0, 1]");
+  }
+  if (!(fid.epr_f0 >= 0.25 && fid.epr_f0 <= 1.0)) {
+    throw ConfigError("ArchConfig: EPR fidelity must be in [0.25, 1]");
+  }
+}
+
+ent::LinkParams ArchConfig::link_params(DesignKind design) const {
+  const int links_per_node = num_nodes - 1;
+  if (comm_per_node < links_per_node) {
+    throw ConfigError(
+        "ArchConfig: fewer communication qubits than links per node");
+  }
+  ent::LinkParams link;
+  // Each node splits its communication qubits evenly across its links; a
+  // link's pair count is the per-node share (both endpoints contribute one
+  // qubit per pair).
+  link.num_comm_pairs = comm_per_node / links_per_node;
+  // A buffered pair occupies one buffer qubit per node; without buffer
+  // qubits the design has no storage at all.
+  link.buffer_capacity = design_uses_buffer(design)
+                             ? std::max(1, buffer_per_node / links_per_node)
+                             : 0;
+  link.p_succ = p_succ;
+  link.cycle_time = lat.epr_cycle;
+  link.swap_latency = lat.swap_buffer;
+  link.f0 = fid.epr_f0;
+  link.kappa = kappa;
+  link.cutoff = buffer_cutoff;
+  link.schedule = design_uses_async(design)
+                      ? ent::AttemptSchedule::Asynchronous
+                      : ent::AttemptSchedule::Synchronous;
+  link.async_subgroups = async_subgroups;
+  link.consume_freshest = consume_freshest;
+  return link;
+}
+
+std::size_t ArchConfig::effective_segment_size() const {
+  if (segment_size > 0) return segment_size;
+  return sched::default_segment_size(comm_per_node, p_succ);
+}
+
+}  // namespace dqcsim::runtime

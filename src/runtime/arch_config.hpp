@@ -1,0 +1,106 @@
+/// \file arch_config.hpp
+/// \brief DQC architecture configuration (paper §IV-A, Table II).
+///
+/// All times are in units of one local CNOT latency (300 ns physical); the
+/// decoherence rate kappa = T_cnot / T2 = 300 ns / 150 us = 0.002 per unit.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "ent/link_params.hpp"
+#include "runtime/design.hpp"
+
+namespace dqcsim::runtime {
+
+/// Operation latencies (Table II), in local-CNOT units.
+struct Latencies {
+  double one_qubit = 0.1;
+  double local_cnot = 1.0;
+  double measurement = 5.0;
+  double epr_cycle = 10.0;     ///< T_EG: one generation attempt
+  double swap_buffer = 1.0;    ///< comm -> buffer SWAP
+  /// Data-qubit occupation of a teleported remote gate. The feed-forward
+  /// measurement and Pauli correction run on the Bell halves / in the Pauli
+  /// frame, off the data-qubit critical path, so the default equals one
+  /// local CNOT (see DESIGN.md "Remote-gate latency").
+  double remote_gate = 1.0;
+  /// Data-qubit occupation of a remote gate implemented by *state*
+  /// teleportation (move control over, local CNOT, move back): the control
+  /// wire threads three CNOT-class operations.
+  double remote_gate_state = 3.0;
+};
+
+/// How remote two-qubit gates are realized (paper §II-C; the combination of
+/// both was left as future work in §III-D — StateTeleport implements it).
+enum class RemoteImpl {
+  GateTeleport,   ///< Fig. 1(c): one EPR pair per remote gate (paper default)
+  StateTeleport,  ///< Fig. 1(b) twice: two EPR pairs per remote gate
+};
+
+/// Operation fidelities (Table II).
+struct Fidelities {
+  double one_qubit = 0.9999;
+  double local_cnot = 0.999;
+  double measurement = 0.998;
+  double epr_f0 = 0.99;  ///< freshly generated Bell-pair fidelity
+};
+
+/// Full architecture configuration for a DQC system of `num_nodes` QPUs.
+///
+/// The paper evaluates 2 nodes; the engine generalizes to all-to-all
+/// interconnects of k nodes by splitting each node's communication and
+/// buffer qubits evenly across its k-1 links (see link_params).
+struct ArchConfig {
+  int num_nodes = 2;          ///< QPU count (>= 2), all-to-all interconnect
+  int comm_per_node = 10;     ///< communication qubits per node
+  int buffer_per_node = 10;   ///< buffer qubits per node
+  Latencies lat;
+  Fidelities fid;
+  double p_succ = 0.4;        ///< EPR generation success probability
+  double kappa = 0.002;       ///< decoherence rate per time unit
+  /// Buffer storage cutoff (time units); infinity disables the policy.
+  double buffer_cutoff = std::numeric_limits<double>::infinity();
+  /// Stagger subgroups for asynchronous generation (clamped to comm pairs).
+  int async_subgroups = 10;
+  /// Consume the freshest buffered pair first (see ent::ConsumeOrder).
+  bool consume_freshest = true;
+  /// Remote gates per adaptive segment; 0 selects the paper's default
+  /// round(comm_per_node * p_succ).
+  std::size_t segment_size = 0;
+  /// Remote-gate implementation (gate teleportation by default).
+  RemoteImpl remote_impl = RemoteImpl::GateTeleport;
+  /// Purify-on-consume: each remote gate distills its EPR pair from two
+  /// buffered pairs (BBPSSW); a failed round discards both pairs and the
+  /// gate waits for new ones. Only meaningful for buffered designs with
+  /// GateTeleport. Raises per-gate fidelity, halves (at best) the
+  /// effective pair rate.
+  bool purify_on_consume = false;
+  /// Local-operation time of one purification round (CNOT + measurement on
+  /// each side, in t_CNOT units); delays the purified gate's start.
+  double purification_latency = 6.0;
+
+  /// EPR pairs consumed per remote gate under the selected implementation
+  /// (a *successful* purification round doubles the count again).
+  int pairs_per_remote_gate() const {
+    const int base = remote_impl == RemoteImpl::GateTeleport ? 1 : 2;
+    return purify_on_consume ? 2 * base : base;
+  }
+
+  /// Throws ConfigError when any field is out of domain.
+  void validate() const;
+
+  /// Derive the entanglement-link parameters for a given design
+  /// (schedule/buffering follow the design's feature set). Each node splits
+  /// its communication/buffer qubits evenly across its num_nodes - 1 links,
+  /// so per-link resources shrink as the interconnect widens.
+  /// Throws ConfigError when a node has fewer communication qubits than
+  /// links (comm_per_node < num_nodes - 1).
+  ent::LinkParams link_params(DesignKind design) const;
+
+  /// Effective adaptive segment size m.
+  std::size_t effective_segment_size() const;
+};
+
+}  // namespace dqcsim::runtime

@@ -1,0 +1,60 @@
+#include "runtime/design.hpp"
+
+#include "common/error.hpp"
+
+namespace dqcsim::runtime {
+
+std::string design_name(DesignKind design) {
+  switch (design) {
+    case DesignKind::Original: return "original";
+    case DesignKind::SyncBuf: return "sync_buf";
+    case DesignKind::AsyncBuf: return "async_buf";
+    case DesignKind::AdaptBuf: return "adapt_buf";
+    case DesignKind::InitBuf: return "init_buf";
+    case DesignKind::IdealMono: return "ideal";
+  }
+  throw PreconditionError("unknown design kind");
+}
+
+std::vector<DesignKind> all_designs() {
+  return {DesignKind::Original, DesignKind::SyncBuf, DesignKind::AsyncBuf,
+          DesignKind::AdaptBuf, DesignKind::InitBuf, DesignKind::IdealMono};
+}
+
+std::vector<DesignKind> distributed_designs() {
+  return {DesignKind::Original, DesignKind::SyncBuf, DesignKind::AsyncBuf,
+          DesignKind::AdaptBuf, DesignKind::InitBuf};
+}
+
+bool design_uses_buffer(DesignKind design) {
+  switch (design) {
+    case DesignKind::SyncBuf:
+    case DesignKind::AsyncBuf:
+    case DesignKind::AdaptBuf:
+    case DesignKind::InitBuf:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool design_uses_async(DesignKind design) {
+  switch (design) {
+    case DesignKind::AsyncBuf:
+    case DesignKind::AdaptBuf:
+    case DesignKind::InitBuf:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool design_uses_adaptive(DesignKind design) {
+  return design == DesignKind::AdaptBuf || design == DesignKind::InitBuf;
+}
+
+bool design_uses_prefill(DesignKind design) {
+  return design == DesignKind::InitBuf;
+}
+
+}  // namespace dqcsim::runtime

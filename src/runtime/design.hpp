@@ -1,0 +1,51 @@
+/// \file design.hpp
+/// \brief The six architecture designs compared in the paper's evaluation.
+///
+///  - original:  no buffer qubits; a heralded pair exists only at its
+///                generation instant and is wasted if no remote gate is
+///                waiting (bufferless baseline).
+///  - sync_buf:  buffer qubits, synchronous (aligned) generation attempts.
+///  - async_buf: buffer qubits, staggered attempts (smooth arrivals).
+///  - adapt_buf: async_buf plus adaptive ASAP/ALAP segment scheduling.
+///  - init_buf:  adapt_buf plus a buffer pre-filled with EPR pairs at t=0.
+///  - ideal:     monolithic device, all gates local (lower bound).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dqcsim::runtime {
+
+/// Architecture design under evaluation (paper §V).
+enum class DesignKind {
+  Original,
+  SyncBuf,
+  AsyncBuf,
+  AdaptBuf,
+  InitBuf,
+  IdealMono,
+};
+
+/// Paper's display name, e.g. "async_buf".
+std::string design_name(DesignKind design);
+
+/// All designs in the paper's presentation order.
+std::vector<DesignKind> all_designs();
+
+/// The five distributed designs (everything except ideal).
+std::vector<DesignKind> distributed_designs();
+
+/// True when the design stores generated pairs in buffer qubits.
+bool design_uses_buffer(DesignKind design);
+
+/// True when generation attempts are staggered (asynchronous).
+bool design_uses_async(DesignKind design);
+
+/// True when the adaptive segment-variant controller is active.
+bool design_uses_adaptive(DesignKind design);
+
+/// True when the buffer starts pre-filled with fresh EPR pairs.
+bool design_uses_prefill(DesignKind design);
+
+}  // namespace dqcsim::runtime

@@ -1,0 +1,528 @@
+#include "runtime/engine.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "des/simulator.hpp"
+#include "ent/generation_service.hpp"
+#include "noise/fidelity_ledger.hpp"
+#include "noise/purification.hpp"
+#include "noise/werner.hpp"
+#include "sched/adaptive_policy.hpp"
+#include "sched/remote_gates.hpp"
+#include "sched/segmentation.hpp"
+#include "sched/variants.hpp"
+
+namespace dqcsim::runtime {
+
+struct ExecutionEngine::Impl {
+  // --- construction-time state ------------------------------------------
+  const Circuit& circuit;
+  std::vector<int> assignment;
+  ArchConfig config;
+  DesignKind design;
+  Rng rng;
+  sched::GatePlacement placement;
+
+  des::Simulator sim;
+
+  std::optional<noise::TeleportFidelityModel> owned_model;
+  const noise::TeleportFidelityModel* teleport_model = nullptr;
+  std::optional<noise::StateTeleportCnotModel> state_model;
+
+  // --- adaptive scheduling state ------------------------------------------
+  std::vector<sched::Segment> segments;
+  std::unique_ptr<sched::SegmentVariantTable> variant_table;
+  std::unique_ptr<sched::AdaptivePolicy> adaptive_policy;
+  std::size_t next_segment = 0;  ///< index of the next segment to admit
+  bool admitting = false;        ///< re-entrancy guard for pump_segments
+  std::vector<std::size_t> segment_of_gate;   // valid once admitted
+  std::vector<std::size_t> unstarted_in_segment;
+
+  // --- per-gate scheduling state -------------------------------------------
+  static constexpr std::size_t kNone = ~std::size_t{0};
+  std::vector<std::size_t> last_on_wire;      // per qubit, kNone if none
+  std::vector<std::size_t> remaining_preds;
+  std::vector<std::vector<std::size_t>> succs_of;
+  std::vector<char> admitted, started, completed_flag;
+  std::size_t num_completed = 0;
+  double makespan = 0.0;
+
+  // Remote gates waiting for pairs, FIFO by readiness. A gate needs
+  // pairs_per_remote_gate() pairs; in the bufferless design they may be
+  // collected across heralding instants (held on communication qubits,
+  // decaying under the same Werner law).
+  struct PendingRemote {
+    std::size_t gate;
+    des::SimTime ready_at;
+    std::vector<des::SimTime> pair_births;
+  };
+
+  // One entanglement link per node pair that carries remote gates
+  // (all-to-all interconnect; links without traffic are not instantiated).
+  struct LinkState {
+    std::unique_ptr<ent::GenerationService> service;
+    std::deque<PendingRemote> pending;
+  };
+  std::vector<LinkState> links;
+  std::vector<int> link_of_pair;  // [a * num_nodes + b] -> index or -1
+
+  LinkState& link_of_gate(std::size_t g) {
+    const Gate& gate = circuit.gate(g);
+    const int a = assignment[static_cast<std::size_t>(gate.q0())];
+    const int b = assignment[static_cast<std::size_t>(gate.q1())];
+    const int idx =
+        link_of_pair[static_cast<std::size_t>(a) *
+                         static_cast<std::size_t>(config.num_nodes) +
+                     static_cast<std::size_t>(b)];
+    DQCSIM_ENSURES(idx >= 0);
+    return links[static_cast<std::size_t>(idx)];
+  }
+
+  /// Buffered pairs currently available across every link (the adaptive
+  /// controller's occupancy signal e).
+  std::size_t total_buffered_pairs() {
+    std::size_t total = 0;
+    for (auto& link : links) {
+      total += link.service->buffer().size(sim.now());
+    }
+    return total;
+  }
+
+  // --- metrics -------------------------------------------------------------
+  noise::FidelityLedger ledger;
+  RunResult result;
+  Accumulator pair_age_acc;
+  Accumulator remote_wait_acc;
+  bool ran = false;
+
+  Impl(const Circuit& c, std::vector<int> a, const ArchConfig& cfg,
+       DesignKind d, std::uint64_t seed,
+       const noise::TeleportFidelityModel* model)
+      : circuit(c),
+        assignment(std::move(a)),
+        config(cfg),
+        design(d),
+        rng(seed) {
+    config.validate();
+    if (design != DesignKind::IdealMono) {
+      DQCSIM_EXPECTS_MSG(
+          assignment.size() == static_cast<std::size_t>(circuit.num_qubits()),
+          "partition assignment must cover every qubit");
+      for (int node : assignment) {
+        DQCSIM_EXPECTS_MSG(node >= 0 && node < config.num_nodes,
+                           "node id outside [0, num_nodes)");
+      }
+      placement = sched::classify_gates(circuit, assignment);
+    } else {
+      placement.is_remote.assign(circuit.num_gates(), 0);
+    }
+
+    noise::TeleportNoiseParams tele;
+    tele.local_2q_fidelity = config.fid.local_cnot;
+    tele.local_1q_fidelity = config.fid.one_qubit;
+    tele.readout_fidelity = config.fid.measurement;
+    if (config.remote_impl == RemoteImpl::GateTeleport) {
+      if (model != nullptr) {
+        teleport_model = model;
+      } else if (placement.num_remote_2q > 0) {
+        owned_model.emplace(tele);
+        teleport_model = &*owned_model;
+      }
+    } else if (placement.num_remote_2q > 0) {
+      state_model.emplace(tele);
+    }
+
+    const std::size_t n = circuit.num_gates();
+    last_on_wire.assign(static_cast<std::size_t>(circuit.num_qubits()), kNone);
+    remaining_preds.assign(n, 0);
+    succs_of.assign(n, {});
+    admitted.assign(n, 0);
+    started.assign(n, 0);
+    completed_flag.assign(n, 0);
+    segment_of_gate.assign(n, 0);
+  }
+
+  // --- helpers --------------------------------------------------------------
+
+  double latency_of(const Gate& g, bool remote) const {
+    if (remote) {
+      return config.remote_impl == RemoteImpl::GateTeleport
+                 ? config.lat.remote_gate
+                 : config.lat.remote_gate_state;
+    }
+    if (g.kind == GateKind::Measure) return config.lat.measurement;
+    if (g.arity() == 2) return config.lat.local_cnot;
+    return config.lat.one_qubit;
+  }
+
+  double gate_fidelity_local(const Gate& g) const {
+    if (g.kind == GateKind::Measure) return config.fid.measurement;
+    if (g.arity() == 2) return config.fid.local_cnot;
+    return config.fid.one_qubit;
+  }
+
+  bool is_remote(std::size_t gate_index) const {
+    return design != DesignKind::IdealMono &&
+           placement.is_remote[gate_index] != 0;
+  }
+
+  // --- admission (stream construction) --------------------------------------
+
+  /// Admit gate `g` into the execution stream: wire up dependencies on the
+  /// previously admitted gates sharing its qubits.
+  void admit_gate(std::size_t g, std::size_t segment_index) {
+    DQCSIM_ENSURES(!admitted[g]);
+    admitted[g] = 1;
+    segment_of_gate[g] = segment_index;
+    const Gate& gate = circuit.gate(g);
+    std::size_t preds = 0;
+    for (int k = 0; k < gate.arity(); ++k) {
+      auto& last = last_on_wire[static_cast<std::size_t>(
+          gate.qubits[static_cast<std::size_t>(k)])];
+      if (last != kNone && !completed_flag[last]) {
+        // Duplicate edges (same pred via both wires) are fine: count both
+        // and notify twice on completion — avoided by checking succs back:
+        auto& sv = succs_of[last];
+        if (sv.empty() || sv.back() != g) {
+          sv.push_back(g);
+          ++preds;
+        }
+      }
+      last = g;
+    }
+    remaining_preds[g] = preds;
+    if (preds == 0) on_gate_ready(g);
+  }
+
+  /// Admit every gate of segment s in the order of the selected variant.
+  /// Callers must hold the `admitting` guard so nested gate starts cannot
+  /// interleave another segment's admission mid-way.
+  void admit_segment(std::size_t s) {
+    DQCSIM_ENSURES(s < segments.size());
+    sched::SchedulingPolicy policy = sched::SchedulingPolicy::Original;
+    if (adaptive_policy) {
+      const std::size_t available = total_buffered_pairs();
+      policy = adaptive_policy->choose(available);
+      switch (policy) {
+        case sched::SchedulingPolicy::Asap: ++result.segments_asap; break;
+        case sched::SchedulingPolicy::Alap: ++result.segments_alap; break;
+        case sched::SchedulingPolicy::Original:
+          ++result.segments_original;
+          break;
+      }
+    }
+    const auto& order = variant_table->order(s, policy);
+    unstarted_in_segment[s] = order.size();
+    for (std::size_t g : order) admit_gate(g, s);
+  }
+
+  /// Admit further segments while the most recently admitted one has fully
+  /// started (paper §III-D: the controller picks the next segment's variant
+  /// as execution reaches it). Re-entrant calls (a gate starting during
+  /// admission) defer to the outer loop.
+  void pump_segments() {
+    if (admitting || !adaptive_policy) return;
+    admitting = true;
+    while (next_segment < segments.size() &&
+           unstarted_in_segment[next_segment - 1] == 0) {
+      const std::size_t s = next_segment++;
+      admit_segment(s);
+    }
+    admitting = false;
+  }
+
+  // --- execution -------------------------------------------------------------
+
+  void on_gate_ready(std::size_t g) {
+    if (is_remote(g)) {
+      LinkState& link = link_of_gate(g);
+      link.pending.push_back(PendingRemote{g, sim.now(), {}});
+      try_serve_pending(link);
+    } else {
+      start_local_gate(g);
+    }
+  }
+
+  void start_local_gate(std::size_t g) {
+    const Gate& gate = circuit.gate(g);
+    const auto term = (gate.arity() == 2) ? noise::FidelityTerm::Local2Q
+                      : (gate.kind == GateKind::Measure)
+                          ? noise::FidelityTerm::Measurement
+                          : noise::FidelityTerm::Local1Q;
+    ledger.add_factor(term, gate_fidelity_local(gate));
+    begin_execution(g, latency_of(gate, /*remote=*/false));
+  }
+
+  /// Werner-decayed fidelities of collected pairs at the current instant,
+  /// recording their ages.
+  std::vector<double> decay_births(const std::vector<des::SimTime>& births) {
+    std::vector<double> fidelities;
+    fidelities.reserve(births.size());
+    for (const des::SimTime birth : births) {
+      const double age = sim.now() - birth;
+      pair_age_acc.add(age);
+      fidelities.push_back(noise::werner_decayed_fidelity(
+          config.fid.epr_f0, config.kappa, age));
+    }
+    return fidelities;
+  }
+
+  /// With purify_on_consume, distill every two raw pairs into one logical
+  /// pair (BBPSSW). Returns nullopt when any round fails — all raw pairs
+  /// are lost and the caller must re-collect (a failure of one round
+  /// discards the whole batch; see DESIGN.md). Without purification the
+  /// raw fidelities pass through.
+  std::optional<std::vector<double>> maybe_purify(
+      const std::vector<double>& raw) {
+    if (!config.purify_on_consume) return raw;
+    std::vector<double> logical;
+    bool all_succeeded = true;
+    for (std::size_t i = 0; i + 1 < raw.size(); i += 2) {
+      const auto outcome = noise::purify_werner(raw[i], raw[i + 1]);
+      ++result.purification_rounds;
+      if (rng.bernoulli(outcome.success_probability)) {
+        logical.push_back(outcome.fidelity);
+      } else {
+        ++result.purification_failures;
+        all_succeeded = false;
+      }
+    }
+    if (!all_succeeded) return std::nullopt;
+    return logical;
+  }
+
+  /// Start a remote gate from its (logical) pair fidelities; `extra_delay`
+  /// models local purification time before the teleportation begins.
+  void start_remote_gate(std::size_t g,
+                         const std::vector<double>& pair_fidelity,
+                         double extra_delay = 0.0) {
+    const std::size_t expected =
+        config.remote_impl == RemoteImpl::GateTeleport ? 1u : 2u;
+    DQCSIM_ENSURES(pair_fidelity.size() == expected);
+    const double gate_fidelity =
+        config.remote_impl == RemoteImpl::GateTeleport
+            ? teleport_model->eval(pair_fidelity[0])
+            : state_model->eval(pair_fidelity[0], pair_fidelity[1]);
+    ledger.add_factor(noise::FidelityTerm::Remote, gate_fidelity);
+    begin_execution(
+        g, extra_delay + latency_of(circuit.gate(g), /*remote=*/true));
+  }
+
+  void begin_execution(std::size_t g, double latency) {
+    DQCSIM_ENSURES(!started[g]);
+    started[g] = 1;
+
+    // Segment bookkeeping for adaptive admission.
+    if (adaptive_policy) {
+      const std::size_t s = segment_of_gate[g];
+      DQCSIM_ENSURES(unstarted_in_segment[s] > 0);
+      --unstarted_in_segment[s];
+      pump_segments();
+    }
+
+    sim.schedule_in(latency, [this, g] { complete_gate(g); });
+  }
+
+  void complete_gate(std::size_t g) {
+    DQCSIM_ENSURES(!completed_flag[g]);
+    completed_flag[g] = 1;
+    ++num_completed;
+    makespan = std::max(makespan, sim.now());
+    for (std::size_t next : succs_of[g]) {
+      DQCSIM_ENSURES(remaining_preds[next] > 0);
+      if (--remaining_preds[next] == 0) on_gate_ready(next);
+    }
+  }
+
+  /// Serve queued remote gates from a link's buffer (buffered designs). A
+  /// gate is served only when the buffer holds its full pair quota, so a
+  /// two-pair gate cannot strand a half-claimed pair decaying outside the
+  /// cutoff policy's reach.
+  void try_serve_pending(LinkState& link) {
+    if (link.service->mode() != ent::ServiceMode::Buffered) return;
+    const auto order = link.service->params().consume_freshest
+                           ? ent::ConsumeOrder::FreshestFirst
+                           : ent::ConsumeOrder::OldestFirst;
+    const auto needed =
+        static_cast<std::size_t>(config.pairs_per_remote_gate());
+    while (!link.pending.empty() &&
+           link.service->buffer().size(sim.now()) >= needed) {
+      PendingRemote req = std::move(link.pending.front());
+      link.pending.pop_front();
+      for (std::size_t i = 0; i < needed; ++i) {
+        auto pair = link.service->buffer().pop(sim.now(), order);
+        DQCSIM_ENSURES(pair.has_value());
+        req.pair_births.push_back(pair->deposited);
+      }
+      const auto logical = maybe_purify(decay_births(req.pair_births));
+      if (!logical) {
+        // Purification failed: pairs are lost, the gate retries from the
+        // head of the queue (the buffer shrank, so this loop terminates).
+        req.pair_births.clear();
+        link.pending.push_front(std::move(req));
+        continue;
+      }
+      remote_wait_acc.add(sim.now() - req.ready_at);
+      start_remote_gate(req.gate, *logical,
+                        config.purify_on_consume
+                            ? config.purification_latency
+                            : 0.0);
+    }
+  }
+
+  /// OnDemand arrival (bufferless original design): a waiting remote gate
+  /// on this link claims the pair at its heralding instant. Multi-pair
+  /// gates hold already-claimed pairs on the communication qubits (same
+  /// decay law) until their quota fills.
+  bool on_demand_arrival(LinkState& link, des::SimTime now) {
+    if (link.pending.empty()) return false;
+    PendingRemote& req = link.pending.front();
+    req.pair_births.push_back(now);
+    if (static_cast<int>(req.pair_births.size()) <
+        config.pairs_per_remote_gate()) {
+      return true;  // claimed and held; wait for the next herald
+    }
+    const auto logical = maybe_purify(decay_births(req.pair_births));
+    if (!logical) {
+      req.pair_births.clear();  // pairs lost; keep collecting
+      return true;
+    }
+    PendingRemote filled = std::move(req);
+    link.pending.pop_front();
+    remote_wait_acc.add(now - filled.ready_at);
+    start_remote_gate(filled.gate, *logical,
+                      config.purify_on_consume ? config.purification_latency
+                                               : 0.0);
+    return true;
+  }
+
+  RunResult do_run() {
+    DQCSIM_EXPECTS_MSG(!ran, "ExecutionEngine::run may be called once");
+    ran = true;
+
+    const bool needs_link =
+        design != DesignKind::IdealMono && placement.num_remote_2q > 0;
+    if (needs_link) {
+      if (design_uses_buffer(design) && config.buffer_per_node < 1) {
+        throw ConfigError(
+            "buffered designs need at least one buffer qubit per node");
+      }
+      // Instantiate one generation service per node pair with traffic.
+      const auto n = static_cast<std::size_t>(config.num_nodes);
+      link_of_pair.assign(n * n, -1);
+      const auto link_params = config.link_params(design);
+      const auto mode = design_uses_buffer(design)
+                            ? ent::ServiceMode::Buffered
+                            : ent::ServiceMode::OnDemand;
+      for (std::size_t g = 0; g < circuit.num_gates(); ++g) {
+        if (!placement.is_remote[g]) continue;
+        const Gate& gate = circuit.gate(g);
+        const auto a = static_cast<std::size_t>(
+            assignment[static_cast<std::size_t>(gate.q0())]);
+        const auto b = static_cast<std::size_t>(
+            assignment[static_cast<std::size_t>(gate.q1())]);
+        if (link_of_pair[a * n + b] >= 0) continue;
+        const int idx = static_cast<int>(links.size());
+        link_of_pair[a * n + b] = idx;
+        link_of_pair[b * n + a] = idx;
+        links.push_back(LinkState{
+            std::make_unique<ent::GenerationService>(sim, link_params, rng,
+                                                     mode),
+            {}});
+      }
+      for (auto& link : links) {
+        LinkState* link_ptr = &link;
+        if (mode == ent::ServiceMode::Buffered) {
+          link.service->set_arrival_handler([this, link_ptr](des::SimTime) {
+            try_serve_pending(*link_ptr);
+            return true;
+          });
+        } else {
+          link.service->set_arrival_handler(
+              [this, link_ptr](des::SimTime now) {
+                return on_demand_arrival(*link_ptr, now);
+              });
+        }
+        if (design_uses_prefill(design)) link.service->pre_fill_buffer();
+        link.service->start();
+      }
+    }
+
+    if (design_uses_adaptive(design) && needs_link) {
+      segments = sched::segment_by_remote_gates(
+          placement, config.effective_segment_size());
+      variant_table = std::make_unique<sched::SegmentVariantTable>(
+          circuit, placement, segments);
+      adaptive_policy = std::make_unique<sched::AdaptivePolicy>(
+          config.effective_segment_size());
+      unstarted_in_segment.assign(segments.size(), 0);
+      admitting = true;
+      next_segment = 1;
+      admit_segment(0);
+      admitting = false;
+      pump_segments();
+    } else {
+      // Single implicit segment: the whole circuit in program order.
+      for (std::size_t g = 0; g < circuit.num_gates(); ++g) {
+        admit_gate(g, 0);
+      }
+    }
+
+    // Drive the simulation until every gate has completed. The generation
+    // service perpetually schedules events, so the loop can always advance;
+    // an event-starved state with unfinished gates indicates a logic error.
+    while (num_completed < circuit.num_gates()) {
+      const bool progressed = sim.step();
+      DQCSIM_ENSURES_MSG(progressed,
+                         "simulation stalled with unfinished gates");
+    }
+    for (auto& link : links) link.service->stop();
+
+    // Figures of merit.
+    ledger.add_idling(config.kappa, makespan);
+    result.depth = makespan / config.lat.local_cnot;
+    result.fidelity = ledger.fidelity();
+    result.fidelity_local =
+        ledger.category_fidelity(noise::FidelityTerm::Local1Q) *
+        ledger.category_fidelity(noise::FidelityTerm::Local2Q) *
+        ledger.category_fidelity(noise::FidelityTerm::Measurement);
+    result.fidelity_remote =
+        ledger.category_fidelity(noise::FidelityTerm::Remote);
+    result.fidelity_idling =
+        ledger.category_fidelity(noise::FidelityTerm::Idling);
+    result.remote_gates = placement.num_remote_2q;
+    for (const auto& link : links) {
+      const auto& service = *link.service;
+      result.epr_attempts += service.attempts();
+      result.epr_successes += service.successes();
+      result.epr_consumed +=
+          service.buffer().total_consumed() +
+          (service.mode() == ent::ServiceMode::OnDemand
+               ? service.successes() - service.wasted_unconsumed()
+               : 0);
+      result.epr_wasted +=
+          service.wasted_buffer_full() + service.wasted_unconsumed();
+      result.epr_expired += service.buffer().total_expired();
+    }
+    result.avg_pair_age = pair_age_acc.mean();
+    result.avg_remote_wait = remote_wait_acc.mean();
+    return result;
+  }
+};
+
+ExecutionEngine::ExecutionEngine(
+    const Circuit& circuit, std::vector<int> assignment,
+    const ArchConfig& config, DesignKind design, std::uint64_t seed,
+    const noise::TeleportFidelityModel* teleport_model)
+    : impl_(std::make_unique<Impl>(circuit, std::move(assignment), config,
+                                   design, seed, teleport_model)) {}
+
+ExecutionEngine::~ExecutionEngine() = default;
+
+RunResult ExecutionEngine::run() { return impl_->do_run(); }
+
+}  // namespace dqcsim::runtime

@@ -1,0 +1,64 @@
+/// \file engine.hpp
+/// \brief Event-driven execution of a partitioned circuit on the DQC
+/// architecture (the paper's evaluation core, §IV).
+///
+/// The engine couples two processes on one discrete-event simulator:
+///  1. the entanglement-generation service (ent::GenerationService), and
+///  2. list-scheduled circuit execution: a gate starts as soon as its
+///     per-qubit predecessors complete; remote gates additionally wait for
+///     an EPR pair (from the buffer, or — in the bufferless original design
+///     — for a heralding instant).
+///
+/// Depth is the resulting makespan in local-CNOT units; fidelity is the
+/// product of all gate fidelities (remote gates via the teleportation-gadget
+/// model at the consumed pair's decayed fidelity) times exp(-kappa * depth).
+///
+/// For adapt_buf / init_buf the engine admits the circuit segment by
+/// segment, choosing the pre-compiled ASAP/ALAP/original variant from the
+/// live buffer occupancy when each segment is admitted (paper §III-D).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "noise/teleport_fidelity.hpp"
+#include "runtime/arch_config.hpp"
+#include "runtime/design.hpp"
+#include "runtime/metrics.hpp"
+
+namespace dqcsim::runtime {
+
+/// Single-run execution engine. Construct once per run; `run()` may be
+/// called exactly once.
+class ExecutionEngine {
+ public:
+  /// \param circuit     the workload
+  /// \param assignment  qubit -> node id (entries in {0,1}); ignored for
+  ///                    IdealMono
+  /// \param config      architecture parameters (validated here)
+  /// \param design      which of the six designs to simulate
+  /// \param seed        randomness for entanglement generation
+  /// \param teleport_model optional pre-built teleported-gate fidelity
+  ///                    model (must match config fidelities); pass nullptr
+  ///                    to build one internally.
+  ExecutionEngine(const Circuit& circuit, std::vector<int> assignment,
+                  const ArchConfig& config, DesignKind design,
+                  std::uint64_t seed,
+                  const noise::TeleportFidelityModel* teleport_model = nullptr);
+
+  ~ExecutionEngine();
+  ExecutionEngine(const ExecutionEngine&) = delete;
+  ExecutionEngine& operator=(const ExecutionEngine&) = delete;
+
+  /// Execute the circuit to completion and return the run metrics.
+  RunResult run();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace dqcsim::runtime

@@ -1,0 +1,50 @@
+#include "runtime/experiment.hpp"
+
+#include "circuit/interaction_graph.hpp"
+#include "common/error.hpp"
+#include "runtime/engine.hpp"
+
+namespace dqcsim::runtime {
+
+partition::PartitionResult partition_circuit(const Circuit& circuit,
+                                             int num_nodes,
+                                             std::uint64_t seed) {
+  const partition::Graph graph = interaction_graph(circuit);
+  partition::PartitionOptions opts;
+  opts.seed = seed;
+  return partition::multilevel_partition(graph, num_nodes, opts);
+}
+
+AggregateResult run_design(const Circuit& circuit,
+                           const std::vector<int>& assignment,
+                           const ArchConfig& config, DesignKind design,
+                           int runs, std::uint64_t base_seed) {
+  DQCSIM_EXPECTS(runs >= 1);
+  noise::TeleportNoiseParams tele;
+  tele.local_2q_fidelity = config.fid.local_cnot;
+  tele.local_1q_fidelity = config.fid.one_qubit;
+  tele.readout_fidelity = config.fid.measurement;
+  const noise::TeleportFidelityModel model(tele);
+
+  AggregateResult aggregate;
+  for (int r = 0; r < runs; ++r) {
+    ExecutionEngine engine(circuit, assignment, config, design,
+                           base_seed + static_cast<std::uint64_t>(r), &model);
+    aggregate.add(engine.run());
+  }
+  return aggregate;
+}
+
+double ideal_depth(const Circuit& circuit, const ArchConfig& config) {
+  ExecutionEngine engine(circuit, {}, config, DesignKind::IdealMono,
+                         /*seed=*/0);
+  return engine.run().depth;
+}
+
+double ideal_fidelity(const Circuit& circuit, const ArchConfig& config) {
+  ExecutionEngine engine(circuit, {}, config, DesignKind::IdealMono,
+                         /*seed=*/0);
+  return engine.run().fidelity;
+}
+
+}  // namespace dqcsim::runtime

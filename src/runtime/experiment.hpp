@@ -1,0 +1,39 @@
+/// \file experiment.hpp
+/// \brief High-level experiment driver: partition a workload, run a design
+/// repeatedly, and aggregate — the workflow behind every figure (§V).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "partition/partitioner.hpp"
+#include "runtime/arch_config.hpp"
+#include "runtime/design.hpp"
+#include "runtime/metrics.hpp"
+
+namespace dqcsim::runtime {
+
+/// Partition a circuit's qubits across `num_nodes` QPUs by balanced min-cut
+/// of the interaction graph (the paper's METIS baseline, §IV-A).
+partition::PartitionResult partition_circuit(const Circuit& circuit,
+                                             int num_nodes,
+                                             std::uint64_t seed = 1);
+
+/// Run `design` on the partitioned circuit `runs` times with seeds
+/// base_seed, base_seed+1, ... and aggregate depth/fidelity statistics.
+/// The teleported-gate fidelity model is built once and shared.
+AggregateResult run_design(const Circuit& circuit,
+                           const std::vector<int>& assignment,
+                           const ArchConfig& config, DesignKind design,
+                           int runs, std::uint64_t base_seed = 1000);
+
+/// Depth of the circuit on an ideal monolithic device (lower bound used as
+/// the normalization of Figures 5, 7 and 8).
+double ideal_depth(const Circuit& circuit, const ArchConfig& config);
+
+/// Fidelity on an ideal monolithic device (normalization of Figure 6).
+double ideal_fidelity(const Circuit& circuit, const ArchConfig& config);
+
+}  // namespace dqcsim::runtime

@@ -1,0 +1,14 @@
+#include "runtime/metrics.hpp"
+
+namespace dqcsim::runtime {
+
+void AggregateResult::add(const RunResult& run) {
+  depth.add(run.depth);
+  fidelity.add(run.fidelity);
+  epr_wasted.add(static_cast<double>(run.epr_wasted));
+  epr_expired.add(static_cast<double>(run.epr_expired));
+  avg_pair_age.add(run.avg_pair_age);
+  avg_remote_wait.add(run.avg_remote_wait);
+}
+
+}  // namespace dqcsim::runtime

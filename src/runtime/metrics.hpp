@@ -1,0 +1,56 @@
+/// \file metrics.hpp
+/// \brief Per-run results and multi-seed aggregation (figures of merit,
+/// paper §IV-B: circuit depth and circuit fidelity).
+
+#pragma once
+
+#include <cstddef>
+
+#include "common/stats.hpp"
+
+namespace dqcsim::runtime {
+
+/// Outcome of one simulated execution.
+struct RunResult {
+  double depth = 0.0;     ///< makespan in local-CNOT units
+  double fidelity = 0.0;  ///< estimated output fidelity
+
+  // Fidelity breakdown (products of the respective factors).
+  double fidelity_local = 1.0;   ///< 1Q + local 2Q + measurement gates
+  double fidelity_remote = 1.0;  ///< teleported gates
+  double fidelity_idling = 1.0;  ///< exp(-kappa * makespan)
+
+  // Entanglement accounting.
+  std::size_t remote_gates = 0;
+  std::size_t epr_attempts = 0;
+  std::size_t epr_successes = 0;
+  std::size_t epr_consumed = 0;
+  std::size_t epr_wasted = 0;   ///< unconsumed (original) or buffer-full
+  std::size_t epr_expired = 0;  ///< discarded by the buffer cutoff policy
+  double avg_pair_age = 0.0;    ///< mean buffer dwell time of consumed pairs
+  double avg_remote_wait = 0.0; ///< mean remote-gate wait for a pair
+
+  // Adaptive-controller decisions (adapt_buf / init_buf only).
+  std::size_t segments_asap = 0;
+  std::size_t segments_alap = 0;
+  std::size_t segments_original = 0;
+
+  // Purification accounting (purify_on_consume only).
+  std::size_t purification_rounds = 0;
+  std::size_t purification_failures = 0;
+};
+
+/// Streaming aggregate over repeated runs (the paper averages 50).
+struct AggregateResult {
+  Accumulator depth;
+  Accumulator fidelity;
+  Accumulator epr_wasted;
+  Accumulator epr_expired;
+  Accumulator avg_pair_age;
+  Accumulator avg_remote_wait;
+
+  /// Fold one run into the aggregate.
+  void add(const RunResult& run);
+};
+
+}  // namespace dqcsim::runtime

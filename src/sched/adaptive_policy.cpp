@@ -1,0 +1,18 @@
+#include "sched/adaptive_policy.hpp"
+
+#include "common/error.hpp"
+
+namespace dqcsim::sched {
+
+AdaptivePolicy::AdaptivePolicy(std::size_t segment_size) : m_(segment_size) {
+  DQCSIM_EXPECTS(segment_size >= 1);
+}
+
+SchedulingPolicy AdaptivePolicy::choose(
+    std::size_t available_pairs) const noexcept {
+  if (available_pairs == 0) return SchedulingPolicy::Alap;
+  if (available_pairs > m_) return SchedulingPolicy::Asap;
+  return SchedulingPolicy::Original;
+}
+
+}  // namespace dqcsim::sched

@@ -1,0 +1,31 @@
+/// \file adaptive_policy.hpp
+/// \brief Run-time segment-variant selection from buffer occupancy (§III-D).
+///
+/// "During execution, if e > m, the controller looks up the next segment
+/// with ASAP policy. If e = 0, the controller opts for the ALAP policy.
+/// Otherwise, the controller uses the original scheduling."
+
+#pragma once
+
+#include <cstddef>
+
+#include "sched/variants.hpp"
+
+namespace dqcsim::sched {
+
+/// The paper's threshold rule mapping available EPR pairs to a policy.
+class AdaptivePolicy {
+ public:
+  /// \param segment_size the per-segment remote-gate quota m.
+  explicit AdaptivePolicy(std::size_t segment_size);
+
+  /// Select the variant for the next segment given `available_pairs` (e).
+  SchedulingPolicy choose(std::size_t available_pairs) const noexcept;
+
+  std::size_t segment_size() const noexcept { return m_; }
+
+ private:
+  std::size_t m_;
+};
+
+}  // namespace dqcsim::sched

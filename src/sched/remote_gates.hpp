@@ -1,0 +1,35 @@
+/// \file remote_gates.hpp
+/// \brief Classification of gates as local or remote under a partition.
+///
+/// A two-qubit gate whose operands live on different QPU nodes is *remote*
+/// and must be implemented by gate teleportation, consuming one EPR pair
+/// (paper §II-C). Everything else is local to one node.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace dqcsim::sched {
+
+/// Per-gate placement information for a partitioned circuit.
+struct GatePlacement {
+  std::vector<char> is_remote;  ///< 1 if gate i is remote (char: vector<bool> avoided)
+  std::size_t num_remote_2q = 0;
+  std::size_t num_local_2q = 0;
+  std::size_t num_1q = 0;
+  std::size_t num_measure = 0;
+
+  bool remote(std::size_t gate_index) const {
+    return is_remote.at(gate_index) != 0;
+  }
+};
+
+/// Classify every gate of `circuit` under the qubit->node `assignment`.
+/// Precondition: assignment.size() == circuit.num_qubits().
+GatePlacement classify_gates(const Circuit& circuit,
+                             const std::vector<int>& assignment);
+
+}  // namespace dqcsim::sched

@@ -1,0 +1,45 @@
+#include "sched/segmentation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dqcsim::sched {
+
+std::vector<Segment> segment_by_remote_gates(const GatePlacement& placement,
+                                             std::size_t remote_per_segment) {
+  DQCSIM_EXPECTS(remote_per_segment >= 1);
+  const std::size_t n = placement.is_remote.size();
+  std::vector<Segment> segments;
+  if (n == 0) return segments;
+
+  Segment current;
+  current.begin = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool remote = placement.is_remote[i] != 0;
+    if (remote && current.num_remote == remote_per_segment) {
+      current.end = i;
+      segments.push_back(current);
+      current = Segment{};
+      current.begin = i;
+    }
+    if (remote) ++current.num_remote;
+  }
+  current.end = n;
+  segments.push_back(current);
+
+  DQCSIM_ENSURES(segments.front().begin == 0);
+  DQCSIM_ENSURES(segments.back().end == n);
+  return segments;
+}
+
+std::size_t default_segment_size(int num_comm_pairs, double p_succ) {
+  DQCSIM_EXPECTS(num_comm_pairs >= 1);
+  DQCSIM_EXPECTS(p_succ > 0.0 && p_succ <= 1.0);
+  const double product = static_cast<double>(num_comm_pairs) * p_succ;
+  return static_cast<std::size_t>(
+      std::max(1.0, std::round(product)));
+}
+
+}  // namespace dqcsim::sched

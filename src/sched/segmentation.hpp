@@ -1,0 +1,41 @@
+/// \file segmentation.hpp
+/// \brief Partitioning of a circuit into segments of m remote gates.
+///
+/// The adaptive scheduler (paper §III-D) pre-compiles ASAP/ALAP variants per
+/// *segment* instead of re-synthesizing the whole circuit at run time. A
+/// segment is a contiguous gate range containing (up to) m remote gates; the
+/// boundary falls immediately before the first remote gate that would exceed
+/// the quota, so trailing local gates stay attached to their segment.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sched/remote_gates.hpp"
+
+namespace dqcsim::sched {
+
+/// A contiguous gate index range [begin, end).
+struct Segment {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t num_remote = 0;
+
+  std::size_t size() const noexcept { return end - begin; }
+};
+
+/// Split a circuit (described by its placement) into segments of at most
+/// `remote_per_segment` remote gates. Segments cover [0, num_gates) exactly
+/// once, in order; only the last segment may hold fewer remote gates, and a
+/// circuit with no remote gates yields a single segment.
+/// Precondition: remote_per_segment >= 1.
+std::vector<Segment> segment_by_remote_gates(const GatePlacement& placement,
+                                             std::size_t remote_per_segment);
+
+/// The paper's default segment size: the product of the number of
+/// communication-qubit pairs and the per-attempt success probability,
+/// clamped to at least 1 (§III-D).
+std::size_t default_segment_size(int num_comm_pairs, double p_succ);
+
+}  // namespace dqcsim::sched

@@ -1,0 +1,185 @@
+/// Unit tests for the gate/circuit IR: construction, counting, depth.
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hpp"
+#include "common/error.hpp"
+
+namespace dqcsim {
+namespace {
+
+TEST(Gate, ArityByKind) {
+  EXPECT_EQ(gate_arity(GateKind::H), 1);
+  EXPECT_EQ(gate_arity(GateKind::RZ), 1);
+  EXPECT_EQ(gate_arity(GateKind::Measure), 1);
+  EXPECT_EQ(gate_arity(GateKind::CX), 2);
+  EXPECT_EQ(gate_arity(GateKind::RZZ), 2);
+  EXPECT_EQ(gate_arity(GateKind::SWAP), 2);
+}
+
+TEST(Gate, DiagonalClassification) {
+  for (GateKind k : {GateKind::Z, GateKind::S, GateKind::Sdg, GateKind::T,
+                     GateKind::Tdg, GateKind::RZ, GateKind::CZ, GateKind::CP,
+                     GateKind::RZZ}) {
+    EXPECT_TRUE(is_diagonal(k)) << gate_name(k);
+  }
+  for (GateKind k : {GateKind::H, GateKind::X, GateKind::Y, GateKind::RX,
+                     GateKind::RY, GateKind::CX, GateKind::SWAP,
+                     GateKind::Measure}) {
+    EXPECT_FALSE(is_diagonal(k)) << gate_name(k);
+  }
+}
+
+TEST(Gate, ParamClassification) {
+  EXPECT_TRUE(has_param(GateKind::RX));
+  EXPECT_TRUE(has_param(GateKind::CP));
+  EXPECT_FALSE(has_param(GateKind::H));
+  EXPECT_FALSE(has_param(GateKind::CX));
+}
+
+TEST(Gate, MakeGateValidation) {
+  EXPECT_THROW(make_gate(GateKind::CX, 0), PreconditionError);
+  EXPECT_THROW(make_gate(GateKind::H, 0, 1), PreconditionError);
+  EXPECT_THROW(make_gate(GateKind::CX, 2, 2), PreconditionError);
+  EXPECT_THROW(make_gate(GateKind::H, -1), PreconditionError);
+}
+
+TEST(Gate, ActsOnAndOverlap) {
+  const Gate cx = make_gate(GateKind::CX, 1, 3);
+  EXPECT_TRUE(cx.acts_on(1));
+  EXPECT_TRUE(cx.acts_on(3));
+  EXPECT_FALSE(cx.acts_on(2));
+  const Gate h = make_gate(GateKind::H, 3);
+  EXPECT_TRUE(cx.overlaps(h));
+  EXPECT_TRUE(h.overlaps(cx));
+  const Gate rz = make_gate(GateKind::RZ, 0, 0.5);
+  EXPECT_FALSE(cx.overlaps(rz));
+}
+
+TEST(Gate, ToStringFormats) {
+  EXPECT_EQ(make_gate(GateKind::CX, 0, 1).to_string(), "cx q0, q1");
+  EXPECT_EQ(make_gate(GateKind::H, 2).to_string(), "h q2");
+  EXPECT_EQ(make_gate(GateKind::RZ, 1, 0.5).to_string(), "rz(0.5000) q1");
+}
+
+TEST(Circuit, AppendValidatesRange) {
+  Circuit qc(3);
+  EXPECT_NO_THROW(qc.cx(0, 2));
+  EXPECT_THROW(qc.h(3), PreconditionError);
+  EXPECT_THROW(qc.cx(0, 5), PreconditionError);
+  EXPECT_EQ(qc.num_gates(), 1u);
+}
+
+TEST(Circuit, GateAccessorBounds) {
+  Circuit qc(2);
+  qc.h(0);
+  EXPECT_EQ(qc.gate(0).kind, GateKind::H);
+  EXPECT_THROW(qc.gate(1), PreconditionError);
+}
+
+TEST(Circuit, CountsByCategory) {
+  Circuit qc(4);
+  qc.h(0);
+  qc.h(1);
+  qc.cx(0, 1);
+  qc.rzz(2, 3, 0.3);
+  qc.rx(2, 0.1);
+  qc.measure(0);
+  EXPECT_EQ(qc.count_1q(), 3u);  // measurement not counted as 1Q gate
+  EXPECT_EQ(qc.count_2q(), 2u);
+  EXPECT_EQ(qc.count_measure(), 1u);
+}
+
+TEST(Circuit, UnitDepthSerialChain) {
+  Circuit qc(1);
+  for (int i = 0; i < 5; ++i) qc.h(0);
+  EXPECT_EQ(qc.unit_depth(), 5u);
+}
+
+TEST(Circuit, UnitDepthParallelGates) {
+  Circuit qc(4);
+  qc.h(0);
+  qc.h(1);
+  qc.h(2);
+  qc.h(3);
+  EXPECT_EQ(qc.unit_depth(), 1u);
+  qc.cx(0, 1);
+  qc.cx(2, 3);
+  EXPECT_EQ(qc.unit_depth(), 2u);
+  qc.cx(1, 2);
+  EXPECT_EQ(qc.unit_depth(), 3u);
+}
+
+TEST(Circuit, UnitDepthEmptyCircuit) {
+  Circuit qc(3);
+  EXPECT_EQ(qc.unit_depth(), 0u);
+}
+
+namespace {
+double unit_latency(const Gate&) { return 1.0; }
+double typed_latency(const Gate& g) {
+  return g.arity() == 2 ? 1.0 : 0.1;
+}
+}  // namespace
+
+TEST(Circuit, WeightedDepthMatchesUnitForUnitWeights) {
+  Circuit qc(3);
+  qc.h(0);
+  qc.cx(0, 1);
+  qc.cx(1, 2);
+  qc.h(2);
+  EXPECT_DOUBLE_EQ(qc.weighted_depth(&unit_latency),
+                   static_cast<double>(qc.unit_depth()));
+}
+
+TEST(Circuit, WeightedDepthUsesLatencies) {
+  Circuit qc(2);
+  qc.h(0);       // 0.1
+  qc.cx(0, 1);   // 1.0, starts at 0.1
+  qc.h(1);       // 0.1, starts at 1.1
+  EXPECT_NEAR(qc.weighted_depth(&typed_latency), 1.2, 1e-12);
+}
+
+TEST(Circuit, WeightedDepthIndependentChainsOverlap) {
+  Circuit qc(4);
+  qc.cx(0, 1);
+  qc.cx(2, 3);
+  qc.cx(0, 1);
+  EXPECT_NEAR(qc.weighted_depth(&typed_latency), 2.0, 1e-12);
+}
+
+TEST(Circuit, ExtendAppendsGates) {
+  Circuit a(3), b(3);
+  a.h(0);
+  b.cx(0, 1);
+  b.h(2);
+  a.extend(b);
+  EXPECT_EQ(a.num_gates(), 3u);
+  EXPECT_EQ(a.gate(1).kind, GateKind::CX);
+}
+
+TEST(Circuit, ExtendRejectsWiderCircuit) {
+  Circuit narrow(2), wide(4);
+  wide.h(3);
+  EXPECT_THROW(narrow.extend(wide), PreconditionError);
+}
+
+TEST(Circuit, NameRoundTrip) {
+  Circuit qc(1, "my-circuit");
+  EXPECT_EQ(qc.name(), "my-circuit");
+  qc.set_name("renamed");
+  EXPECT_EQ(qc.name(), "renamed");
+}
+
+TEST(Circuit, ToStringListsGates) {
+  Circuit qc(2, "demo");
+  qc.h(0);
+  qc.cx(0, 1);
+  const std::string s = qc.to_string();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("h q0"), std::string::npos);
+  EXPECT_NE(s.find("cx q0, q1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dqcsim

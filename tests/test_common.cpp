@@ -1,0 +1,313 @@
+/// Unit tests for common utilities: RNG, statistics, tables, CSV, errors.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <cmath>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace dqcsim {
+namespace {
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DistinctSeedsGiveDistinctStreams) {
+  Rng a(1), b(2);
+  int differences = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() != b()) ++differences;
+  }
+  EXPECT_GT(differences, 60);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(11);
+  Accumulator acc;
+  for (int i = 0; i < 100000; ++i) acc.add(rng.uniform());
+  EXPECT_NEAR(acc.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 2.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 2.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversAllResidues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.4) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.4, 0.01);
+}
+
+TEST(Rng, BernoulliDegenerateCases) {
+  Rng rng(1);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_FALSE(rng.bernoulli(-1.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_TRUE(rng.bernoulli(2.0));
+}
+
+TEST(Rng, GeometricMeanMatchesTheory) {
+  Rng rng(17);
+  Accumulator acc;
+  const double p = 0.4;
+  for (int i = 0; i < 100000; ++i) {
+    acc.add(static_cast<double>(rng.geometric(p)));
+  }
+  // E[failures before success] = (1-p)/p = 1.5.
+  EXPECT_NEAR(acc.mean(), (1.0 - p) / p, 0.05);
+}
+
+TEST(Rng, GeometricWithCertainSuccessIsZero) {
+  Rng rng(1);
+  EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(23);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  rng.shuffle(v);
+  std::set<int> seen(v.begin(), v.end());
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(29);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<std::size_t>(i)] = i;
+  const auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.split();
+  // The child must not replay the parent's stream.
+  Rng parent_copy(31);
+  parent_copy.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child() == parent()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+// --------------------------------------------------------- Accumulator ----
+
+TEST(Accumulator, EmptyDefaults) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.stderr_mean(), 0.0);
+}
+
+TEST(Accumulator, MeanAndVarianceKnownSample) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  // Sample variance of this classic sample is 32/7.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Accumulator, MinMaxTracked) {
+  Accumulator acc;
+  for (double x : {3.0, -1.0, 7.5, 2.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.min(), -1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 7.5);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Accumulator all, left, right;
+  Rng rng(37);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    all.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmptyIsNoop) {
+  Accumulator acc, empty;
+  acc.add(1.0);
+  acc.add(3.0);
+  acc.merge(empty);
+  EXPECT_EQ(acc.count(), 2u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
+  empty.merge(acc);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Accumulator, Ci95ShrinksWithSamples) {
+  Accumulator small, large;
+  Rng rng(41);
+  for (int i = 0; i < 10; ++i) small.add(rng.uniform());
+  for (int i = 0; i < 10000; ++i) large.add(rng.uniform());
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+}
+
+TEST(StatsHelpers, MeanAndStddevOfVector) {
+  EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_NEAR(stddev_of({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+              std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+}
+
+// ------------------------------------------------------------ Histogram ----
+
+TEST(Histogram, BinsCountCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  for (double x : {0.5, 1.5, 1.7, 9.9}) h.add(x);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 2u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderflowAndOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.1);
+  h.add(1.0);  // hi edge is exclusive
+  h.add(0.5);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+}
+
+TEST(Histogram, EdgesAreUniform) {
+  Histogram h(2.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_edge(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_edge(2), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_edge(4), 4.0);
+}
+
+TEST(Histogram, RejectsInvalidConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), PreconditionError);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), PreconditionError);
+}
+
+// --------------------------------------------------------- TablePrinter ----
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2.50"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name   | value"), std::string::npos);
+  EXPECT_NE(out.find("longer |  2.50"), std::string::npos);
+}
+
+TEST(TablePrinter, RejectsMismatchedRow) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(TablePrinter, FormatsNumbers) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(std::size_t{42}), "42");
+  EXPECT_EQ(TablePrinter::fmt(-7), "-7");
+}
+
+// ------------------------------------------------------------ CsvWriter ----
+
+TEST(CsvWriter, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "dqcsim_csv_test.csv";
+  {
+    CsvWriter csv(path, {"x", "y"});
+    csv.add_row({"1", "2"});
+    csv.add_row({"3", "4,5"});
+    EXPECT_EQ(csv.rows_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,\"4,5\"");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, RejectsWrongWidth) {
+  const std::string path = ::testing::TempDir() + "dqcsim_csv_width.csv";
+  CsvWriter csv(path, {"a", "b", "c"});
+  EXPECT_THROW(csv.add_row({"1", "2"}), PreconditionError);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, ThrowsOnUnopenablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), ConfigError);
+}
+
+// ---------------------------------------------------------------- errors ----
+
+TEST(ErrorMacros, ExpectsThrowsWithLocation) {
+  try {
+    DQCSIM_EXPECTS_MSG(1 == 2, "math is broken");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math is broken"), std::string::npos);
+  }
+}
+
+TEST(ErrorMacros, EnsuresThrowsInvariantError) {
+  EXPECT_THROW(DQCSIM_ENSURES(false), InvariantError);
+  EXPECT_NO_THROW(DQCSIM_ENSURES(true));
+}
+
+}  // namespace
+}  // namespace dqcsim

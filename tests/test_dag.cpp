@@ -1,0 +1,243 @@
+/// Unit tests for commutation analysis and the dependency DAG.
+
+#include <gtest/gtest.h>
+
+#include "circuit/commutation.hpp"
+#include "circuit/dag.hpp"
+#include "common/error.hpp"
+
+namespace dqcsim {
+namespace {
+
+// ----------------------------------------------------------- commutation ----
+
+TEST(Commutation, DisjointGatesAlwaysCommute) {
+  EXPECT_TRUE(gates_commute(make_gate(GateKind::H, 0),
+                            make_gate(GateKind::H, 1)));
+  EXPECT_TRUE(gates_commute(make_gate(GateKind::CX, 0, 1),
+                            make_gate(GateKind::CX, 2, 3)));
+}
+
+TEST(Commutation, DiagonalGatesCommuteOnOverlap) {
+  EXPECT_TRUE(gates_commute(make_gate(GateKind::RZZ, 0, 1, 0.3),
+                            make_gate(GateKind::RZZ, 1, 2, 0.4)));
+  EXPECT_TRUE(gates_commute(make_gate(GateKind::CZ, 0, 1),
+                            make_gate(GateKind::RZ, 0, 0.2)));
+  EXPECT_TRUE(gates_commute(make_gate(GateKind::CP, 0, 1, 0.1),
+                            make_gate(GateKind::CP, 1, 2, 0.2)));
+  EXPECT_TRUE(gates_commute(make_gate(GateKind::T, 0),
+                            make_gate(GateKind::Z, 0)));
+}
+
+TEST(Commutation, HadamardDoesNotCommuteWithOverlap) {
+  EXPECT_FALSE(gates_commute(make_gate(GateKind::H, 0),
+                             make_gate(GateKind::RZ, 0, 0.2)));
+  EXPECT_FALSE(gates_commute(make_gate(GateKind::H, 0),
+                             make_gate(GateKind::CX, 0, 1)));
+}
+
+TEST(Commutation, CxPairsShareControlCommute) {
+  EXPECT_TRUE(gates_commute(make_gate(GateKind::CX, 0, 1),
+                            make_gate(GateKind::CX, 0, 2)));
+}
+
+TEST(Commutation, CxPairsShareTargetCommute) {
+  EXPECT_TRUE(gates_commute(make_gate(GateKind::CX, 0, 2),
+                            make_gate(GateKind::CX, 1, 2)));
+}
+
+TEST(Commutation, CxChainDoesNotCommute) {
+  // Target of the first is control of the second.
+  EXPECT_FALSE(gates_commute(make_gate(GateKind::CX, 0, 1),
+                             make_gate(GateKind::CX, 1, 2)));
+  EXPECT_FALSE(gates_commute(make_gate(GateKind::CX, 1, 2),
+                             make_gate(GateKind::CX, 0, 1)));
+}
+
+TEST(Commutation, IdenticalCxCommutes) {
+  EXPECT_TRUE(gates_commute(make_gate(GateKind::CX, 0, 1),
+                            make_gate(GateKind::CX, 0, 1)));
+}
+
+TEST(Commutation, ReversedCxDoesNotCommute) {
+  EXPECT_FALSE(gates_commute(make_gate(GateKind::CX, 0, 1),
+                             make_gate(GateKind::CX, 1, 0)));
+}
+
+TEST(Commutation, DiagonalOnCxControlCommutes) {
+  EXPECT_TRUE(gates_commute(make_gate(GateKind::RZ, 0, 0.7),
+                            make_gate(GateKind::CX, 0, 1)));
+  EXPECT_TRUE(gates_commute(make_gate(GateKind::CX, 0, 1),
+                            make_gate(GateKind::T, 0)));
+  EXPECT_TRUE(gates_commute(make_gate(GateKind::RZZ, 0, 2, 0.3),
+                            make_gate(GateKind::CX, 0, 1)));
+}
+
+TEST(Commutation, DiagonalOnCxTargetDoesNotCommute) {
+  EXPECT_FALSE(gates_commute(make_gate(GateKind::RZ, 1, 0.7),
+                             make_gate(GateKind::CX, 0, 1)));
+}
+
+TEST(Commutation, XAxisOnCxTargetCommutes) {
+  EXPECT_TRUE(gates_commute(make_gate(GateKind::X, 1),
+                            make_gate(GateKind::CX, 0, 1)));
+  EXPECT_TRUE(gates_commute(make_gate(GateKind::RX, 1, 0.4),
+                            make_gate(GateKind::CX, 0, 1)));
+}
+
+TEST(Commutation, XAxisOnCxControlDoesNotCommute) {
+  EXPECT_FALSE(gates_commute(make_gate(GateKind::X, 0),
+                             make_gate(GateKind::CX, 0, 1)));
+}
+
+TEST(Commutation, SameAxisOneQubitRotationsCommute) {
+  EXPECT_TRUE(gates_commute(make_gate(GateKind::RX, 0, 0.1),
+                            make_gate(GateKind::X, 0)));
+  EXPECT_FALSE(gates_commute(make_gate(GateKind::RX, 0, 0.1),
+                             make_gate(GateKind::RY, 0, 0.1)));
+}
+
+TEST(Commutation, MeasurementPinsOrdering) {
+  EXPECT_FALSE(gates_commute(make_gate(GateKind::Measure, 0),
+                             make_gate(GateKind::Z, 0)));
+  EXPECT_TRUE(gates_commute(make_gate(GateKind::Measure, 0),
+                            make_gate(GateKind::Z, 1)));
+}
+
+TEST(Commutation, IsSymmetric) {
+  const Gate gates[] = {
+      make_gate(GateKind::H, 0),        make_gate(GateKind::RZ, 0, 0.3),
+      make_gate(GateKind::CX, 0, 1),    make_gate(GateKind::CX, 1, 0),
+      make_gate(GateKind::RZZ, 0, 1, 1), make_gate(GateKind::X, 1),
+      make_gate(GateKind::CZ, 1, 2),    make_gate(GateKind::Measure, 2),
+  };
+  for (const Gate& a : gates) {
+    for (const Gate& b : gates) {
+      EXPECT_EQ(gates_commute(a, b), gates_commute(b, a))
+          << a.to_string() << " vs " << b.to_string();
+    }
+  }
+}
+
+// ------------------------------------------------------------------ DAG ----
+
+Circuit ghz3() {
+  Circuit qc(3);
+  qc.h(0);
+  qc.cx(0, 1);
+  qc.cx(1, 2);
+  return qc;
+}
+
+TEST(DependencyDag, ProgramOrderChain) {
+  const Circuit qc = ghz3();
+  const DependencyDag dag(qc);
+  EXPECT_EQ(dag.num_nodes(), 3u);
+  EXPECT_TRUE(dag.preds(0).empty());
+  EXPECT_EQ(dag.preds(1), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(dag.preds(2), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(dag.critical_path_length(), 3u);
+}
+
+TEST(DependencyDag, AsapAlapAndSlack) {
+  Circuit qc(3);
+  qc.cx(0, 1);  // 0
+  qc.h(2);      // 1: parallel with everything before gate 2
+  qc.cx(1, 2);  // 2
+  const DependencyDag dag(qc);
+  EXPECT_EQ(dag.asap_levels()[0], 1u);
+  EXPECT_EQ(dag.asap_levels()[1], 1u);
+  EXPECT_EQ(dag.asap_levels()[2], 2u);
+  EXPECT_EQ(dag.slack(0), 0u);
+  EXPECT_EQ(dag.slack(1), 0u);  // alap of gate 1 is level 1 (succ at 2)
+  EXPECT_EQ(dag.slack(2), 0u);
+}
+
+TEST(DependencyDag, SlackOfDanglingGate) {
+  Circuit qc(3);
+  qc.h(2);      // 0: no successors -> full slack
+  qc.cx(0, 1);  // 1
+  qc.cx(0, 1);  // 2
+  const DependencyDag dag(qc);
+  EXPECT_EQ(dag.critical_path_length(), 2u);
+  EXPECT_EQ(dag.slack(0), 1u);
+}
+
+TEST(DependencyDag, ReachesFollowsEdges) {
+  const Circuit qc = ghz3();
+  const DependencyDag dag(qc);
+  EXPECT_TRUE(dag.reaches(0, 2));
+  EXPECT_FALSE(dag.reaches(2, 0));
+  EXPECT_TRUE(dag.reaches(1, 1));
+}
+
+TEST(DependencyDag, CommutationAwareRemovesDiagonalEdges) {
+  Circuit qc(3);
+  qc.rzz(0, 1, 0.2);  // all three mutually commute
+  qc.rzz(1, 2, 0.2);
+  qc.rzz(0, 2, 0.2);
+  const DependencyDag program(qc, DependencyDag::Mode::ProgramOrder);
+  const DependencyDag commuting(qc, DependencyDag::Mode::CommutationAware);
+  EXPECT_EQ(program.critical_path_length(), 3u);  // chained by sharing
+  EXPECT_EQ(commuting.critical_path_length(), 1u);
+  EXPECT_TRUE(commuting.preds(2).empty());
+}
+
+TEST(DependencyDag, CommutationAwareSeesThroughIntermediary) {
+  // Z(0), then Z(0) again, then X(0): X must depend on BOTH Z gates even
+  // though the second Z "hides" the first on the wire.
+  Circuit qc(1);
+  qc.z(0);
+  qc.z(0);
+  qc.x(0);
+  const DependencyDag dag(qc, DependencyDag::Mode::CommutationAware);
+  EXPECT_EQ(dag.preds(2), (std::vector<std::size_t>{0, 1}));
+  EXPECT_TRUE(dag.preds(1).empty());  // Z commutes with Z
+}
+
+TEST(DependencyDag, CommutationAwareKeepsRealDependencies) {
+  Circuit qc(2);
+  qc.h(0);      // 0
+  qc.cx(0, 1);  // 1 depends on 0
+  qc.rz(1, 1);  // 2 depends on 1 (diagonal on target)
+  const DependencyDag dag(qc, DependencyDag::Mode::CommutationAware);
+  EXPECT_EQ(dag.preds(1), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(dag.preds(2), (std::vector<std::size_t>{1}));
+}
+
+TEST(DependencyDag, QaoaLayerIsFullyParallelUnderCommutation) {
+  // One QAOA cost layer: every RZZ commutes with every other.
+  Circuit qc(6);
+  qc.rzz(0, 1, 0.1);
+  qc.rzz(1, 2, 0.1);
+  qc.rzz(2, 3, 0.1);
+  qc.rzz(3, 4, 0.1);
+  qc.rzz(4, 5, 0.1);
+  qc.rzz(5, 0, 0.1);
+  const DependencyDag dag(qc, DependencyDag::Mode::CommutationAware);
+  EXPECT_EQ(dag.critical_path_length(), 1u);
+}
+
+TEST(DependencyDag, TopologicalOrderIsIdentity) {
+  const Circuit qc = ghz3();
+  const DependencyDag dag(qc);
+  const auto order = dag.topological_order();
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(DependencyDag, PredsOutOfRangeThrows) {
+  const Circuit qc = ghz3();
+  const DependencyDag dag(qc);
+  EXPECT_THROW(dag.preds(3), PreconditionError);
+  EXPECT_THROW(dag.slack(99), PreconditionError);
+}
+
+TEST(DependencyDag, EmptyCircuit) {
+  Circuit qc(2);
+  const DependencyDag dag(qc);
+  EXPECT_EQ(dag.num_nodes(), 0u);
+  EXPECT_EQ(dag.critical_path_length(), 0u);
+}
+
+}  // namespace
+}  // namespace dqcsim

@@ -1,0 +1,187 @@
+/// Unit tests for the discrete-event simulation kernel.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "des/event_queue.hpp"
+#include "des/simulator.hpp"
+
+namespace dqcsim::des {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(3.0, [&] { fired.push_back(3); });
+  q.schedule(1.0, [&] { fired.push_back(1); });
+  q.schedule(2.0, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakFifo) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(1.0, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoop) {
+  EventQueue q;
+  q.schedule(1.0, [] {});
+  EXPECT_FALSE(q.cancel(999));
+  EXPECT_FALSE(q.cancel(0));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CancelledEventSkippedOnPop) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(1.0, [&] { fired.push_back(1); });
+  const EventId id = q.schedule(2.0, [&] { fired.push_back(2); });
+  q.schedule(3.0, [&] { fired.push_back(3); });
+  q.cancel(id);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  q.schedule(2.5, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.5);
+}
+
+TEST(EventQueue, RejectsInvalidTimes) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(-1.0, [] {}), PreconditionError);
+  EXPECT_THROW(q.schedule(std::numeric_limits<double>::infinity(), [] {}),
+               PreconditionError);
+  EXPECT_THROW(q.schedule(std::numeric_limits<double>::quiet_NaN(), [] {}),
+               PreconditionError);
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), PreconditionError);
+  EXPECT_THROW(q.next_time(), PreconditionError);
+}
+
+TEST(Simulator, ClockAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_at(2.0, [&] { times.push_back(sim.now()); });
+  sim.schedule_at(1.0, [&] { times.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(5.0, [&] {
+    sim.schedule_in(2.5, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Simulator, CannotScheduleInThePast) {
+  Simulator sim;
+  sim.schedule_at(5.0, [&] {
+    EXPECT_THROW(sim.schedule_at(4.0, [] {}), PreconditionError);
+    EXPECT_THROW(sim.schedule_in(-1.0, [] {}), PreconditionError);
+  });
+  sim.run();
+}
+
+TEST(Simulator, EventsCanChain) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 10) sim.schedule_in(1.0, tick);
+  };
+  sim.schedule_at(0.0, tick);
+  sim.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_DOUBLE_EQ(sim.now(), 9.0);
+}
+
+TEST(Simulator, RunRespectsEventLimit) {
+  Simulator sim;
+  for (int i = 0; i < 10; ++i) sim.schedule_at(i, [] {});
+  EXPECT_EQ(sim.run(3), 3u);
+  EXPECT_EQ(sim.pending_events(), 7u);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule_at(t, [&fired, t] { fired.push_back(t); });
+  }
+  sim.run_until(2.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  sim.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.run_until(42.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 42.0);
+  EXPECT_THROW(sim.run_until(41.0), PreconditionError);
+}
+
+TEST(Simulator, StepReturnsFalseWhenIdle) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  EXPECT_TRUE(sim.idle());
+  sim.schedule_at(1.0, [] {});
+  EXPECT_FALSE(sim.idle());
+  EXPECT_TRUE(sim.step());
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 5u);
+}
+
+TEST(Simulator, CancelledEventsDoNotRun) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+}  // namespace
+}  // namespace dqcsim::des

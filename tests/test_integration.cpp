@@ -1,0 +1,226 @@
+/// Integration tests: full pipeline (generate -> partition -> simulate)
+/// asserting the paper's qualitative results hold (§V shapes), plus
+/// parameterized property sweeps over architecture knobs.
+
+#include <gtest/gtest.h>
+
+#include "gen/benchmarks.hpp"
+#include "runtime/experiment.hpp"
+
+namespace dqcsim::runtime {
+namespace {
+
+struct PipelineResult {
+  double ideal_depth = 0.0;
+  double ideal_fidelity = 0.0;
+  AggregateResult by_design[5];
+};
+
+/// Run all five distributed designs on a benchmark with a modest number of
+/// seeds (kept small: these are integration tests, not the bench harness).
+PipelineResult run_pipeline(gen::BenchmarkId id, const ArchConfig& config,
+                            int runs = 8) {
+  const Circuit qc = gen::make_benchmark(id);
+  const auto part = partition_circuit(qc, 2);
+  PipelineResult result;
+  result.ideal_depth = ideal_depth(qc, config);
+  result.ideal_fidelity = ideal_fidelity(qc, config);
+  const auto designs = distributed_designs();
+  for (std::size_t i = 0; i < designs.size(); ++i) {
+    result.by_design[i] =
+        run_design(qc, part.assignment, config, designs[i], runs);
+  }
+  return result;
+}
+
+constexpr std::size_t kOriginal = 0, kSync = 1, kAsync = 2, kAdapt = 3,
+                      kInit = 4;
+
+TEST(PaperShapes, Fig5DepthOrderingQaoaR8) {
+  const PipelineResult r = run_pipeline(gen::BenchmarkId::QAOA_R8_32, {});
+  const auto depth = [&](std::size_t i) { return r.by_design[i].depth.mean(); };
+  // original > sync_buf > async_buf >= adapt_buf >= init_buf > ideal.
+  EXPECT_GT(depth(kOriginal), depth(kSync));
+  EXPECT_GT(depth(kSync), depth(kAsync));
+  EXPECT_GE(depth(kAsync) * 1.02, depth(kAdapt));  // allow 2% tolerance
+  EXPECT_GT(depth(kAdapt), depth(kInit));
+  EXPECT_GT(depth(kInit), r.ideal_depth);
+}
+
+TEST(PaperShapes, Fig5BuffersHelpMostOnRemoteHeavyCircuits) {
+  const ArchConfig config;
+  const PipelineResult qft = run_pipeline(gen::BenchmarkId::QFT_32, config, 4);
+  const PipelineResult tlim =
+      run_pipeline(gen::BenchmarkId::TLIM_32, config, 4);
+  const auto improvement = [](const PipelineResult& p) {
+    return p.by_design[kOriginal].depth.mean() /
+           p.by_design[kSync].depth.mean();
+  };
+  // Both circuits benefit from buffering; QFT's original design also wastes
+  // more EPR pairs than TLIM's in absolute terms (its makespan is an order
+  // of magnitude longer, so far more heralded pairs find no pending gate).
+  EXPECT_GT(improvement(qft), 1.1);
+  EXPECT_GT(improvement(tlim), 1.5);
+  EXPECT_GT(qft.by_design[kOriginal].epr_wasted.mean(),
+            2.0 * tlim.by_design[kOriginal].epr_wasted.mean());
+}
+
+TEST(PaperShapes, Fig6FidelityOrdering) {
+  const PipelineResult r = run_pipeline(gen::BenchmarkId::QAOA_R8_32, {});
+  const auto fid = [&](std::size_t i) {
+    return r.by_design[i].fidelity.mean();
+  };
+  // original <= sync_buf < async_buf ~= adapt_buf; init_buf <= async_buf;
+  // everything below ideal.
+  EXPECT_LE(fid(kOriginal), fid(kSync) * 1.02);
+  EXPECT_LT(fid(kSync), fid(kAsync));
+  // The paper reports identical async/adapt fidelity; in our model adaptive
+  // ASAP drains the buffer stock a little deeper (slightly older pairs), so
+  // allow an 8% band around async_buf.
+  EXPECT_NEAR(fid(kAdapt), fid(kAsync), 0.08 * fid(kAsync));
+  EXPECT_LE(fid(kInit), fid(kAsync));
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_LT(fid(i), r.ideal_fidelity);
+  }
+}
+
+TEST(PaperShapes, Fig5InitBufNearIdealForSparseRemote) {
+  // QAOA-r4-32 in the paper reaches the ideal depth with init_buf; our
+  // reproduction should land within ~2x of ideal while async stays >2.5x.
+  const PipelineResult r = run_pipeline(gen::BenchmarkId::QAOA_R4_32, {});
+  EXPECT_LT(r.by_design[kInit].depth.mean(), 2.0 * r.ideal_depth);
+  EXPECT_GT(r.by_design[kAsync].depth.mean(), 2.5 * r.ideal_depth);
+}
+
+TEST(PaperShapes, OnlyOriginalWastesPairs) {
+  const PipelineResult r = run_pipeline(gen::BenchmarkId::QAOA_R8_32, {});
+  EXPECT_GT(r.by_design[kOriginal].epr_wasted.mean(), 1.0);
+  // Buffered designs with ample capacity waste (almost) nothing.
+  EXPECT_LT(r.by_design[kSync].epr_wasted.mean(), 1.0);
+  EXPECT_LT(r.by_design[kAsync].epr_wasted.mean(), 1.0);
+}
+
+TEST(PaperShapes, Fig7MoreCommQubitsReduceDepth) {
+  const Circuit qc = gen::make_benchmark(gen::BenchmarkId::QAOA_R8_32);
+  const auto part = partition_circuit(qc, 2);
+  double previous = 1e18;
+  for (int comm : {10, 15, 20}) {
+    ArchConfig config;
+    config.comm_per_node = comm;
+    config.buffer_per_node = comm;
+    const auto agg =
+        run_design(qc, part.assignment, config, DesignKind::InitBuf, 6);
+    EXPECT_LT(agg.depth.mean(), previous) << comm << " comm qubits";
+    previous = agg.depth.mean();
+  }
+}
+
+TEST(PaperShapes, Fig7FidelityInsensitiveToCommCount) {
+  // Paper §V-B: "the circuit fidelity remains almost unchanged."
+  const Circuit qc = gen::make_benchmark(gen::BenchmarkId::QAOA_R8_32);
+  const auto part = partition_circuit(qc, 2);
+  ArchConfig config10;
+  ArchConfig config20;
+  config20.comm_per_node = 20;
+  config20.buffer_per_node = 20;
+  const auto f10 =
+      run_design(qc, part.assignment, config10, DesignKind::AsyncBuf, 6);
+  const auto f20 =
+      run_design(qc, part.assignment, config20, DesignKind::AsyncBuf, 6);
+  EXPECT_NEAR(f10.fidelity.mean(), f20.fidelity.mean(),
+              0.15 * f10.fidelity.mean());
+}
+
+// ------------------------------------------------------- property sweeps ----
+
+class PSuccSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PSuccSweep, HigherSuccessProbabilityNeverHurtsDepth) {
+  const Circuit qc = gen::make_benchmark(gen::BenchmarkId::QAOA_R8_32);
+  const auto part = partition_circuit(qc, 2);
+  ArchConfig lo;
+  lo.p_succ = GetParam();
+  ArchConfig hi = lo;
+  hi.p_succ = std::min(1.0, GetParam() + 0.3);
+  const auto dlo = run_design(qc, part.assignment, lo, DesignKind::AsyncBuf, 6);
+  const auto dhi = run_design(qc, part.assignment, hi, DesignKind::AsyncBuf, 6);
+  EXPECT_LT(dhi.depth.mean(), dlo.depth.mean() * 1.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, PSuccSweep,
+                         ::testing::Values(0.1, 0.2, 0.4, 0.6));
+
+class DesignSweep : public ::testing::TestWithParam<DesignKind> {};
+
+TEST_P(DesignSweep, FidelityIsAlwaysAValidProbability) {
+  const Circuit qc = gen::make_benchmark(gen::BenchmarkId::QAOA_R4_32);
+  const auto part = partition_circuit(qc, 2);
+  const auto agg = run_design(qc, part.assignment, {}, GetParam(), 4);
+  EXPECT_GT(agg.fidelity.min(), 0.0);
+  EXPECT_LE(agg.fidelity.max(), 1.0);
+  EXPECT_GT(agg.depth.min(), 0.0);
+}
+
+TEST_P(DesignSweep, DepthNeverBeatsIdeal) {
+  const Circuit qc = gen::make_benchmark(gen::BenchmarkId::QAOA_R4_32);
+  const auto part = partition_circuit(qc, 2);
+  const ArchConfig config;
+  const auto agg = run_design(qc, part.assignment, config, GetParam(), 4);
+  EXPECT_GE(agg.depth.min(), ideal_depth(qc, config) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDistributed, DesignSweep,
+    ::testing::Values(DesignKind::Original, DesignKind::SyncBuf,
+                      DesignKind::AsyncBuf, DesignKind::AdaptBuf,
+                      DesignKind::InitBuf),
+    [](const ::testing::TestParamInfo<DesignKind>& tp) {
+      return design_name(tp.param);
+    });
+
+TEST(PropertySweeps, CutoffTradesWasteForFreshness) {
+  // An aggressive cutoff discards stale pairs: expired count rises, and
+  // the average consumed-pair age cannot grow.
+  const Circuit qc = gen::make_benchmark(gen::BenchmarkId::TLIM_32);
+  const auto part = partition_circuit(qc, 2);
+  ArchConfig no_cutoff;
+  ArchConfig strict = no_cutoff;
+  strict.buffer_cutoff = 5.0;
+  const auto free_run =
+      run_design(qc, part.assignment, no_cutoff, DesignKind::SyncBuf, 6);
+  const auto strict_run =
+      run_design(qc, part.assignment, strict, DesignKind::SyncBuf, 6);
+  EXPECT_GT(strict_run.epr_expired.mean(), free_run.epr_expired.mean());
+  EXPECT_LE(strict_run.avg_pair_age.mean(),
+            free_run.avg_pair_age.mean() + 1.0);
+}
+
+TEST(PropertySweeps, SegmentSizeOneStillCorrectAndComplete) {
+  // Degenerate adaptive segmentation (m = 1) must still execute every gate.
+  const Circuit qc = gen::make_benchmark(gen::BenchmarkId::QAOA_R4_32);
+  const auto part = partition_circuit(qc, 2);
+  ArchConfig config;
+  config.segment_size = 1;
+  const auto agg =
+      run_design(qc, part.assignment, config, DesignKind::AdaptBuf, 4);
+  EXPECT_GT(agg.depth.mean(), 0.0);
+}
+
+TEST(PropertySweeps, SixtyFourQubitSystemsScale) {
+  // Fig. 8 configuration: 64 data qubits, 20 comm + 20 buffer per node.
+  const Circuit qc = gen::make_benchmark(gen::BenchmarkId::QAOA_R8_64);
+  const auto part = partition_circuit(qc, 2);
+  ArchConfig config;
+  config.comm_per_node = 20;
+  config.buffer_per_node = 20;
+  const double ideal = ideal_depth(qc, config);
+  const auto sync =
+      run_design(qc, part.assignment, config, DesignKind::SyncBuf, 4);
+  const auto init =
+      run_design(qc, part.assignment, config, DesignKind::InitBuf, 4);
+  EXPECT_GT(sync.depth.mean(), init.depth.mean());
+  EXPECT_GT(init.depth.mean(), ideal);
+}
+
+}  // namespace
+}  // namespace dqcsim::runtime

@@ -1,0 +1,338 @@
+/// Unit tests for the noise models: Werner decay, teleported-gate fidelity,
+/// and the fidelity ledger.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "noise/fidelity_ledger.hpp"
+#include "noise/purification.hpp"
+#include "noise/teleport_fidelity.hpp"
+#include "noise/werner.hpp"
+
+namespace dqcsim::noise {
+namespace {
+
+// ------------------------------------------------------------ Werner decay ----
+
+TEST(Werner, NoDecayAtTimeZero) {
+  EXPECT_DOUBLE_EQ(werner_decayed_fidelity(0.99, 0.002, 0.0), 0.99);
+}
+
+TEST(Werner, NoDecayWithZeroKappa) {
+  EXPECT_DOUBLE_EQ(werner_decayed_fidelity(0.9, 0.0, 1e6), 0.9);
+}
+
+TEST(Werner, DecaysTowardQuarter) {
+  const double f = werner_decayed_fidelity(0.99, 0.01, 1e5);
+  EXPECT_NEAR(f, 0.25, 1e-9);
+}
+
+TEST(Werner, MatchesClosedForm) {
+  const double f0 = 0.95, kappa = 0.002, t = 37.0;
+  const double expected =
+      f0 * std::exp(-2 * kappa * t) + (1 - std::exp(-2 * kappa * t)) / 4.0;
+  EXPECT_DOUBLE_EQ(werner_decayed_fidelity(f0, kappa, t), expected);
+}
+
+TEST(Werner, IsMonotoneDecreasingInTime) {
+  double prev = 1.0;
+  for (double t : {0.0, 1.0, 5.0, 20.0, 100.0, 1000.0}) {
+    const double f = werner_decayed_fidelity(0.99, 0.002, t);
+    EXPECT_LE(f, prev);
+    prev = f;
+  }
+}
+
+TEST(Werner, TimeToFidelityInvertsDecay) {
+  const double f0 = 0.99, kappa = 0.002, f_min = 0.9;
+  const double t = werner_time_to_fidelity(f0, kappa, f_min);
+  EXPECT_NEAR(werner_decayed_fidelity(f0, kappa, t), f_min, 1e-12);
+}
+
+TEST(Werner, TimeToFidelityEdgeCases) {
+  EXPECT_DOUBLE_EQ(werner_time_to_fidelity(0.9, 0.002, 0.95), 0.0);
+  EXPECT_TRUE(std::isinf(werner_time_to_fidelity(0.99, 0.0, 0.9)));
+}
+
+TEST(Werner, WeightFromFidelityBounds) {
+  EXPECT_DOUBLE_EQ(werner_weight_from_fidelity(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(werner_weight_from_fidelity(0.25), 0.0);
+  EXPECT_THROW(werner_weight_from_fidelity(0.1), PreconditionError);
+}
+
+TEST(Werner, RejectsBadArguments) {
+  EXPECT_THROW(werner_decayed_fidelity(0.1, 0.002, 1.0), PreconditionError);
+  EXPECT_THROW(werner_decayed_fidelity(0.9, -1.0, 1.0), PreconditionError);
+  EXPECT_THROW(werner_decayed_fidelity(0.9, 0.002, -1.0), PreconditionError);
+}
+
+// ------------------------------------------------- teleported-CNOT fidelity ----
+
+TEST(TeleportFidelity, NoiselessPerfectPairIsExact) {
+  TeleportNoiseParams perfect;
+  perfect.local_2q_fidelity = 1.0;
+  perfect.local_1q_fidelity = 1.0;
+  perfect.readout_fidelity = 1.0;
+  EXPECT_NEAR(teleported_cnot_avg_fidelity(1.0, perfect), 1.0, 1e-10);
+}
+
+TEST(TeleportFidelity, MaximallyMixedPairIsUseless) {
+  TeleportNoiseParams perfect;
+  perfect.local_2q_fidelity = 1.0;
+  perfect.local_1q_fidelity = 1.0;
+  perfect.readout_fidelity = 1.0;
+  // A Werner pair at F = 0.25 carries no entanglement; the teleported
+  // "CNOT" degrades to a highly depolarized channel whose average fidelity
+  // sits near (but above) the d=4 random-channel floor of 0.25-0.4.
+  const double f = teleported_cnot_avg_fidelity(0.25, perfect);
+  EXPECT_LT(f, 0.5);
+  EXPECT_GT(f, 0.2);
+}
+
+TEST(TeleportFidelity, MonotoneInPairFidelity) {
+  double prev = 0.0;
+  for (double fp : {0.25, 0.5, 0.7, 0.9, 0.99, 1.0}) {
+    const double f = teleported_cnot_avg_fidelity(fp);
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(TeleportFidelity, LocalNoiseReducesFidelity) {
+  TeleportNoiseParams noisier;
+  noisier.local_2q_fidelity = 0.99;
+  EXPECT_LT(teleported_cnot_avg_fidelity(0.99, noisier),
+            teleported_cnot_avg_fidelity(0.99, TeleportNoiseParams{}));
+}
+
+TEST(TeleportFidelity, ReadoutNoiseReducesFidelity) {
+  TeleportNoiseParams noisier;
+  noisier.readout_fidelity = 0.95;
+  EXPECT_LT(teleported_cnot_avg_fidelity(0.99, noisier),
+            teleported_cnot_avg_fidelity(0.99, TeleportNoiseParams{}));
+}
+
+TEST(TeleportFidelity, PaperDefaultsAreInPlausibleRange) {
+  // With Table II noise (CNOT 99.9%, readout 99.8%) and a fresh pair at
+  // F0 = 0.99 the teleported gate should land a little below F0.
+  const double f = teleported_cnot_avg_fidelity(0.99);
+  EXPECT_GT(f, 0.95);
+  EXPECT_LT(f, 0.99);
+}
+
+TEST(TeleportFidelity, RejectsOutOfRangePairFidelity) {
+  EXPECT_THROW(teleported_cnot_avg_fidelity(0.1), PreconditionError);
+  EXPECT_THROW(teleported_cnot_avg_fidelity(1.01), PreconditionError);
+}
+
+TEST(TeleportFidelityModel, MatchesExactEvaluationEverywhere) {
+  const TeleportNoiseParams params;  // defaults
+  const TeleportFidelityModel model(params);
+  for (double fp : {0.25, 0.4, 0.6, 0.8, 0.9, 0.99, 1.0}) {
+    EXPECT_NEAR(model.eval(fp), teleported_cnot_avg_fidelity(fp, params),
+                1e-10)
+        << "pair fidelity " << fp;
+  }
+}
+
+TEST(TeleportFidelityModel, SlopeIsPositive) {
+  const TeleportFidelityModel model{TeleportNoiseParams{}};
+  EXPECT_GT(model.slope(), 0.0);
+  EXPECT_GT(model.eval(1.0), model.eval(0.5));
+}
+
+TEST(TeleportFidelityModel, EvalValidatesDomain) {
+  const TeleportFidelityModel model{TeleportNoiseParams{}};
+  EXPECT_THROW(model.eval(0.0), PreconditionError);
+}
+
+// ------------------------------------------- state-teleportation gadgets ----
+
+TEST(StateTeleport, NoiselessStateTeleportIsExact) {
+  TeleportNoiseParams perfect;
+  perfect.local_2q_fidelity = 1.0;
+  perfect.local_1q_fidelity = 1.0;
+  perfect.readout_fidelity = 1.0;
+  EXPECT_NEAR(teleported_state_avg_fidelity(1.0, perfect), 1.0, 1e-10);
+}
+
+TEST(StateTeleport, StateFidelityMatchesWernerTheory) {
+  // Teleporting through a Werner pair of fidelity F realizes a depolarizing
+  // channel whose average fidelity is (2F + 1)/3 for ideal local ops.
+  TeleportNoiseParams perfect;
+  perfect.local_2q_fidelity = 1.0;
+  perfect.local_1q_fidelity = 1.0;
+  perfect.readout_fidelity = 1.0;
+  for (double f : {0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_NEAR(teleported_state_avg_fidelity(f, perfect), (2.0 * f + 1.0) / 3.0,
+                1e-10)
+        << "pair fidelity " << f;
+  }
+}
+
+TEST(StateTeleport, NoiselessRoundTripCnotIsExact) {
+  TeleportNoiseParams perfect;
+  perfect.local_2q_fidelity = 1.0;
+  perfect.local_1q_fidelity = 1.0;
+  perfect.readout_fidelity = 1.0;
+  EXPECT_NEAR(state_teleported_cnot_avg_fidelity(1.0, 1.0, perfect), 1.0,
+              1e-9);
+}
+
+TEST(StateTeleport, RoundTripIsWorseThanGateTeleport) {
+  // Two teleports + one noisy local CNOT always lose to one teleported
+  // CNOT under identical noise and pair quality.
+  const TeleportNoiseParams params;  // Table II defaults
+  for (double f : {0.8, 0.9, 0.99}) {
+    EXPECT_LT(state_teleported_cnot_avg_fidelity(f, f, params),
+              teleported_cnot_avg_fidelity(f, params))
+        << "pair fidelity " << f;
+  }
+}
+
+TEST(StateTeleport, MonotoneInEachPair) {
+  const TeleportNoiseParams params;
+  EXPECT_LT(state_teleported_cnot_avg_fidelity(0.8, 0.99, params),
+            state_teleported_cnot_avg_fidelity(0.99, 0.99, params));
+  EXPECT_LT(state_teleported_cnot_avg_fidelity(0.99, 0.8, params),
+            state_teleported_cnot_avg_fidelity(0.99, 0.99, params));
+}
+
+TEST(StateTeleport, RejectsOutOfRangePairs) {
+  EXPECT_THROW(state_teleported_cnot_avg_fidelity(0.1, 0.9),
+               PreconditionError);
+  EXPECT_THROW(state_teleported_cnot_avg_fidelity(0.9, 1.2),
+               PreconditionError);
+}
+
+TEST(StateTeleportCnotModel, MatchesExactOnAGrid) {
+  const TeleportNoiseParams params;
+  const StateTeleportCnotModel model(params);
+  for (double f1 : {0.25, 0.6, 0.99}) {
+    for (double f2 : {0.4, 0.9, 1.0}) {
+      EXPECT_NEAR(model.eval(f1, f2),
+                  state_teleported_cnot_avg_fidelity(f1, f2, params), 1e-9)
+          << f1 << ", " << f2;
+    }
+  }
+}
+
+// ------------------------------------------------------------ purification ----
+
+TEST(Purification, PerfectPairsStayPerfect) {
+  const auto out = purify_werner(1.0, 1.0);
+  EXPECT_NEAR(out.fidelity, 1.0, 1e-12);
+  EXPECT_NEAR(out.success_probability, 1.0, 1e-12);
+}
+
+TEST(Purification, ImprovesAboveThreshold) {
+  for (double f : {0.6, 0.7, 0.8, 0.9, 0.99}) {
+    const auto out = purify_werner(f, f);
+    EXPECT_GT(out.fidelity, f) << "input fidelity " << f;
+    EXPECT_GT(out.success_probability, 0.25);
+    EXPECT_LE(out.success_probability, 1.0);
+  }
+}
+
+TEST(Purification, DoesNotImproveAtOrBelowThreshold) {
+  const auto at = purify_werner(kPurificationThreshold,
+                                kPurificationThreshold);
+  EXPECT_LE(at.fidelity, kPurificationThreshold + 1e-12);
+  const auto below = purify_werner(0.4, 0.4);
+  EXPECT_LE(below.fidelity, 0.4 + 1e-12);
+}
+
+TEST(Purification, MaximallyMixedIsFixed) {
+  const auto out = purify_werner(0.25, 0.25);
+  EXPECT_NEAR(out.fidelity, 0.25, 1e-12);
+}
+
+TEST(Purification, IsSymmetricInInputs) {
+  const auto ab = purify_werner(0.9, 0.7);
+  const auto ba = purify_werner(0.7, 0.9);
+  EXPECT_NEAR(ab.fidelity, ba.fidelity, 1e-12);
+  EXPECT_NEAR(ab.success_probability, ba.success_probability, 1e-12);
+}
+
+TEST(Purification, KnownValueAtF075) {
+  // Closed form at f1 = f2 = 0.75: p = 0.75^2 + 2*0.75/12 + 5/144.
+  const auto out = purify_werner(0.75, 0.75);
+  const double p = 0.5625 + 0.125 + 5.0 / 144.0;
+  EXPECT_NEAR(out.success_probability, p, 1e-12);
+  EXPECT_NEAR(out.fidelity, (0.5625 + 1.0 / 144.0) / p, 1e-12);
+}
+
+TEST(Purification, NestedRoundsConverge) {
+  const auto once = purify_werner_nested(0.8, 1);
+  const auto thrice = purify_werner_nested(0.8, 3);
+  EXPECT_GT(thrice.fidelity, once.fidelity);
+  EXPECT_LT(thrice.success_probability, once.success_probability);
+  // BBPSSW gains ~0.035 per round from 0.8 (0.838, 0.872, 0.905): slower
+  // than DEJMPS but strictly convergent toward 1.
+  EXPECT_GT(thrice.fidelity, 0.90);
+  const auto zero = purify_werner_nested(0.8, 0);
+  EXPECT_DOUBLE_EQ(zero.fidelity, 0.8);
+  EXPECT_DOUBLE_EQ(zero.success_probability, 1.0);
+}
+
+TEST(Purification, RejectsOutOfRange) {
+  EXPECT_THROW(purify_werner(0.1, 0.9), PreconditionError);
+  EXPECT_THROW(purify_werner(0.9, 1.2), PreconditionError);
+  EXPECT_THROW(purify_werner_nested(0.9, -1), PreconditionError);
+}
+
+// --------------------------------------------------------- fidelity ledger ----
+
+TEST(FidelityLedger, EmptyLedgerIsUnity) {
+  FidelityLedger ledger;
+  EXPECT_DOUBLE_EQ(ledger.fidelity(), 1.0);
+}
+
+TEST(FidelityLedger, ProductAccumulates) {
+  FidelityLedger ledger;
+  ledger.add_factor(FidelityTerm::Local2Q, 0.999);
+  ledger.add_factor(FidelityTerm::Local2Q, 0.999);
+  ledger.add_factor(FidelityTerm::Local1Q, 0.9999);
+  EXPECT_NEAR(ledger.fidelity(), 0.999 * 0.999 * 0.9999, 1e-12);
+}
+
+TEST(FidelityLedger, CategoriesAreSeparate) {
+  FidelityLedger ledger;
+  ledger.add_factor(FidelityTerm::Remote, 0.98);
+  ledger.add_factor(FidelityTerm::Local2Q, 0.999);
+  EXPECT_NEAR(ledger.category_fidelity(FidelityTerm::Remote), 0.98, 1e-12);
+  EXPECT_NEAR(ledger.category_fidelity(FidelityTerm::Local2Q), 0.999, 1e-12);
+  EXPECT_EQ(ledger.category_count(FidelityTerm::Remote), 1u);
+  EXPECT_EQ(ledger.category_count(FidelityTerm::Measurement), 0u);
+}
+
+TEST(FidelityLedger, IdlingIsExponential) {
+  FidelityLedger ledger;
+  ledger.add_idling(0.002, 100.0);
+  EXPECT_NEAR(ledger.fidelity(), std::exp(-0.2), 1e-12);
+  EXPECT_NEAR(ledger.category_fidelity(FidelityTerm::Idling), std::exp(-0.2),
+              1e-12);
+}
+
+TEST(FidelityLedger, ManyFactorsStayAccurate) {
+  // 10^4 factors of 0.9999 in log space: relative error must stay tiny.
+  FidelityLedger ledger;
+  for (int i = 0; i < 10000; ++i) {
+    ledger.add_factor(FidelityTerm::Local1Q, 0.9999);
+  }
+  EXPECT_NEAR(ledger.fidelity(), std::exp(10000 * std::log(0.9999)), 1e-9);
+}
+
+TEST(FidelityLedger, RejectsInvalidFactors) {
+  FidelityLedger ledger;
+  EXPECT_THROW(ledger.add_factor(FidelityTerm::Remote, 0.0),
+               PreconditionError);
+  EXPECT_THROW(ledger.add_factor(FidelityTerm::Remote, 1.5),
+               PreconditionError);
+  EXPECT_THROW(ledger.add_idling(-0.1, 1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dqcsim::noise

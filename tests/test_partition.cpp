@@ -1,0 +1,400 @@
+/// Unit tests for the multilevel partitioner (graph, coarsening, initial
+/// partitioning, FM refinement, and the full METIS-substitute pipeline).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "circuit/interaction_graph.hpp"
+#include "common/error.hpp"
+#include "gen/qft.hpp"
+#include "gen/regular_graph.hpp"
+#include "gen/tlim.hpp"
+#include "partition/coarsen.hpp"
+#include "partition/fm_refine.hpp"
+#include "partition/graph.hpp"
+#include "partition/initial_partition.hpp"
+#include "partition/partitioner.hpp"
+
+namespace dqcsim::partition {
+namespace {
+
+Graph path_graph(NodeId n, Weight w = 1) {
+  Graph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1, w);
+  return g;
+}
+
+Graph complete_graph(NodeId n) {
+  Graph g(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) g.add_edge(i, j);
+  }
+  return g;
+}
+
+/// Two K5 cliques joined by a single bridge edge: optimal balanced cut = 1.
+Graph two_cliques_with_bridge() {
+  Graph g(10);
+  for (NodeId i = 0; i < 5; ++i) {
+    for (NodeId j = i + 1; j < 5; ++j) {
+      g.add_edge(i, j);
+      g.add_edge(i + 5, j + 5);
+    }
+  }
+  g.add_edge(4, 5);
+  return g;
+}
+
+// ------------------------------------------------------------------ Graph ----
+
+TEST(Graph, EdgeInsertionAccumulatesWeight) {
+  Graph g(3);
+  g.add_edge(0, 1, 2);
+  g.add_edge(0, 1, 3);
+  EXPECT_EQ(g.edge_weight(0, 1), 5);
+  EXPECT_EQ(g.edge_weight(1, 0), 5);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.total_edge_weight(), 5);
+}
+
+TEST(Graph, MissingEdgeHasZeroWeight) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.edge_weight(0, 2), 0);
+}
+
+TEST(Graph, RejectsInvalidEdges) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 0), PreconditionError);
+  EXPECT_THROW(g.add_edge(0, 3), PreconditionError);
+  EXPECT_THROW(g.add_edge(0, 1, 0), PreconditionError);
+  EXPECT_THROW(g.add_edge(0, 1, -2), PreconditionError);
+}
+
+TEST(Graph, NodeWeightsDefaultToOne) {
+  Graph g(2);
+  EXPECT_EQ(g.node_weight(0), 1);
+  EXPECT_EQ(g.total_node_weight(), 2);
+  g.set_node_weight(0, 5);
+  EXPECT_EQ(g.total_node_weight(), 6);
+  EXPECT_THROW(g.set_node_weight(0, 0), PreconditionError);
+}
+
+TEST(Graph, WeightedDegreeSumsIncidentEdges) {
+  Graph g = path_graph(3, 2);
+  EXPECT_EQ(g.weighted_degree(0), 2);
+  EXPECT_EQ(g.weighted_degree(1), 4);
+}
+
+TEST(Graph, CutWeightCountsCrossingEdges) {
+  Graph g = path_graph(4);
+  EXPECT_EQ(cut_weight(g, {0, 0, 1, 1}), 1);
+  EXPECT_EQ(cut_weight(g, {0, 1, 0, 1}), 3);
+  EXPECT_EQ(cut_weight(g, {0, 0, 0, 0}), 0);
+}
+
+TEST(Graph, BalanceRatioPerfectAndSkewed) {
+  Graph g(4);
+  EXPECT_DOUBLE_EQ(balance_ratio(g, {0, 0, 1, 1}, 2), 1.0);
+  EXPECT_DOUBLE_EQ(balance_ratio(g, {0, 0, 0, 1}, 2), 1.5);
+}
+
+TEST(Graph, PartWeightsRespectNodeWeights) {
+  Graph g(3);
+  g.set_node_weight(2, 4);
+  const auto w = part_weights(g, {0, 1, 1}, 2);
+  EXPECT_EQ(w[0], 1);
+  EXPECT_EQ(w[1], 5);
+}
+
+// ------------------------------------------------------------- coarsening ----
+
+TEST(Coarsen, PreservesTotalNodeWeight) {
+  Rng rng(3);
+  const Graph g = complete_graph(16);
+  const CoarseLevel level = coarsen_heavy_edge_matching(g, rng);
+  EXPECT_EQ(level.graph.total_node_weight(), g.total_node_weight());
+}
+
+TEST(Coarsen, RoughlyHalvesConnectedGraphs) {
+  Rng rng(3);
+  const Graph g = complete_graph(16);
+  const CoarseLevel level = coarsen_heavy_edge_matching(g, rng);
+  EXPECT_EQ(level.graph.num_nodes(), 8);  // perfect matching exists
+}
+
+TEST(Coarsen, MapsEveryFineNode) {
+  Rng rng(4);
+  const Graph g = path_graph(9);
+  const CoarseLevel level = coarsen_heavy_edge_matching(g, rng);
+  ASSERT_EQ(level.fine_to_coarse.size(), 9u);
+  for (NodeId c : level.fine_to_coarse) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, level.graph.num_nodes());
+  }
+}
+
+TEST(Coarsen, PrefersHeavyEdges) {
+  // Star of light edges plus one heavy edge: heavy pair must contract.
+  Graph g(4);
+  g.add_edge(0, 1, 100);
+  g.add_edge(1, 2, 1);
+  g.add_edge(1, 3, 1);
+  Rng rng(5);
+  const CoarseLevel level = coarsen_heavy_edge_matching(g, rng);
+  EXPECT_EQ(level.fine_to_coarse[0], level.fine_to_coarse[1]);
+}
+
+TEST(Coarsen, EdgelessGraphDoesNotShrink) {
+  Graph g(4);
+  Rng rng(6);
+  const CoarseLevel level = coarsen_heavy_edge_matching(g, rng);
+  EXPECT_EQ(level.graph.num_nodes(), 4);
+}
+
+TEST(Coarsen, CutIsPreservedUnderProjection) {
+  Rng rng(7);
+  gen::EdgeList el = gen::random_regular_graph(24, 4, rng);
+  Graph g(24);
+  for (auto [a, b] : el.edges) g.add_edge(a, b);
+  const CoarseLevel level = coarsen_heavy_edge_matching(g, rng);
+  // Any coarse assignment, projected, must have the same cut weight.
+  std::vector<int> coarse(static_cast<std::size_t>(level.graph.num_nodes()));
+  for (std::size_t i = 0; i < coarse.size(); ++i) {
+    coarse[i] = static_cast<int>(i % 2);
+  }
+  const auto fine = project_assignment(coarse, level.fine_to_coarse);
+  // Fine cut = coarse cut + (intra-coarse-node edges are never cut).
+  EXPECT_EQ(cut_weight(g, fine), cut_weight(level.graph, coarse));
+}
+
+// ------------------------------------------------------ initial partition ----
+
+TEST(InitialPartition, GreedyGrowingBalances) {
+  Rng rng(11);
+  const Graph g = complete_graph(12);
+  const auto a = greedy_graph_growing_bipartition(g, rng);
+  EXPECT_DOUBLE_EQ(balance_ratio(g, a, 2), 1.0);
+}
+
+TEST(InitialPartition, RandomBalanced) {
+  Rng rng(12);
+  const Graph g = complete_graph(10);
+  const auto a = random_balanced_bipartition(g, rng);
+  EXPECT_DOUBLE_EQ(balance_ratio(g, a, 2), 1.0);
+}
+
+TEST(InitialPartition, GreedyHandlesDisconnectedGraphs) {
+  Graph g(8);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);  // two components + isolated vertices
+  Rng rng(13);
+  const auto a = greedy_graph_growing_bipartition(g, rng);
+  const auto w = part_weights(g, a, 2);
+  EXPECT_EQ(w[0], 4);
+  EXPECT_EQ(w[1], 4);
+}
+
+TEST(InitialPartition, FractionTargetsPartZero) {
+  const Graph g = complete_graph(12);
+  Rng rng(14);
+  const auto a = greedy_graph_growing_bipartition(g, rng, 0.25);
+  const auto w = part_weights(g, a, 2);
+  EXPECT_EQ(w[0], 3);
+  EXPECT_EQ(w[1], 9);
+}
+
+TEST(InitialPartition, BestOfTrialsFindsBridgeCut) {
+  const Graph g = two_cliques_with_bridge();
+  Rng rng(15);
+  const auto a = best_initial_bipartition(g, rng, 8, 1.0);
+  EXPECT_EQ(cut_weight(g, a), 1);
+  EXPECT_DOUBLE_EQ(balance_ratio(g, a, 2), 1.0);
+}
+
+// ---------------------------------------------------------- FM refinement ----
+
+TEST(FmRefine, NeverWorsensTheCut) {
+  Rng rng(21);
+  gen::EdgeList el = gen::random_regular_graph(32, 4, rng);
+  Graph g(32);
+  for (auto [a, b] : el.edges) g.add_edge(a, b);
+  std::vector<int> assignment(32);
+  for (int i = 0; i < 32; ++i) {
+    assignment[static_cast<std::size_t>(i)] = i % 2;  // poor interleaved cut
+  }
+  const Weight before = cut_weight(g, assignment);
+  const FmStats stats = fm_refine_bipartition(g, assignment);
+  EXPECT_LE(stats.final_cut, before);
+  EXPECT_EQ(stats.final_cut, cut_weight(g, assignment));
+}
+
+TEST(FmRefine, MaintainsPerfectBalance) {
+  Rng rng(22);
+  gen::EdgeList el = gen::random_regular_graph(24, 4, rng);
+  Graph g(24);
+  for (auto [a, b] : el.edges) g.add_edge(a, b);
+  std::vector<int> assignment(24);
+  for (int i = 0; i < 24; ++i) {
+    assignment[static_cast<std::size_t>(i)] = i % 2;
+  }
+  fm_refine_bipartition(g, assignment);
+  EXPECT_DOUBLE_EQ(balance_ratio(g, assignment, 2), 1.0);
+}
+
+TEST(FmRefine, FindsBridgeOnTwoCliques) {
+  const Graph g = two_cliques_with_bridge();
+  // Start from a bad but balanced split mixing the cliques.
+  std::vector<int> assignment{0, 1, 0, 1, 0, 1, 0, 1, 0, 1};
+  fm_refine_bipartition(g, assignment);
+  EXPECT_EQ(cut_weight(g, assignment), 1);
+}
+
+TEST(FmRefine, OptimalInputIsFixpoint) {
+  const Graph g = two_cliques_with_bridge();
+  std::vector<int> assignment{0, 0, 0, 0, 0, 1, 1, 1, 1, 1};
+  const FmStats stats = fm_refine_bipartition(g, assignment);
+  EXPECT_EQ(stats.final_cut, 1);
+  EXPECT_EQ(assignment, (std::vector<int>{0, 0, 0, 0, 0, 1, 1, 1, 1, 1}));
+}
+
+TEST(FmRefine, RespectsBalanceTolerance) {
+  // A path: allowing imbalance lets FM pull the split to a lighter cut
+  // position, but part weights must stay within max_balance.
+  const Graph g = path_graph(10);
+  std::vector<int> assignment{0, 1, 0, 1, 0, 1, 0, 1, 0, 1};
+  FmOptions opts;
+  opts.max_balance = 1.2;
+  fm_refine_bipartition(g, assignment, opts);
+  const auto w = part_weights(g, assignment, 2);
+  EXPECT_LE(w[0], 6);
+  EXPECT_LE(w[1], 6);
+  EXPECT_LE(cut_weight(g, assignment), 2);
+}
+
+TEST(FmRefine, ValidatesArguments) {
+  const Graph g = path_graph(4);
+  std::vector<int> wrong_size{0, 1};
+  EXPECT_THROW(fm_refine_bipartition(g, wrong_size), PreconditionError);
+  std::vector<int> ok{0, 0, 1, 1};
+  FmOptions opts;
+  opts.max_balance = 0.5;
+  EXPECT_THROW(fm_refine_bipartition(g, ok, opts), PreconditionError);
+}
+
+// ------------------------------------------------------- full partitioner ----
+
+TEST(Partitioner, ChainCutsOneEdge) {
+  const Graph g = path_graph(32);
+  const PartitionResult r = multilevel_partition(g, 2);
+  EXPECT_EQ(r.cut, 1);
+  EXPECT_DOUBLE_EQ(r.balance, 1.0);
+}
+
+TEST(Partitioner, WeightedChainStillCutsOneBond) {
+  // TLIM-like: every bond has weight 10 -> min cut = 10 (one bond).
+  const Graph g = path_graph(32, 10);
+  const PartitionResult r = multilevel_partition(g, 2);
+  EXPECT_EQ(r.cut, 10);
+}
+
+TEST(Partitioner, CompleteGraphCutIsForced) {
+  // Any balanced bipartition of K_n cuts exactly (n/2)^2 edges.
+  const Graph g = complete_graph(16);
+  const PartitionResult r = multilevel_partition(g, 2);
+  EXPECT_EQ(r.cut, 64);
+  EXPECT_DOUBLE_EQ(r.balance, 1.0);
+}
+
+TEST(Partitioner, TwoCliquesFindBridge) {
+  const Graph g = two_cliques_with_bridge();
+  const PartitionResult r = multilevel_partition(g, 2);
+  EXPECT_EQ(r.cut, 1);
+}
+
+TEST(Partitioner, SinglePartIsTrivial) {
+  const Graph g = complete_graph(6);
+  const PartitionResult r = multilevel_partition(g, 1);
+  EXPECT_EQ(r.cut, 0);
+  for (int p : r.assignment) EXPECT_EQ(p, 0);
+}
+
+TEST(Partitioner, FourWayUsesAllParts) {
+  const Graph g = complete_graph(16);
+  const PartitionResult r = multilevel_partition(g, 4);
+  std::set<int> parts(r.assignment.begin(), r.assignment.end());
+  EXPECT_EQ(parts.size(), 4u);
+  const auto w = part_weights(g, r.assignment, 4);
+  for (Weight pw : w) EXPECT_EQ(pw, 4);
+}
+
+TEST(Partitioner, ThreeWayBalanced) {
+  const Graph g = complete_graph(12);
+  const PartitionResult r = multilevel_partition(g, 3);
+  const auto w = part_weights(g, r.assignment, 3);
+  for (Weight pw : w) EXPECT_EQ(pw, 4);
+}
+
+TEST(Partitioner, DeterministicForFixedSeed) {
+  Rng grng(31);
+  gen::EdgeList el = gen::random_regular_graph(32, 8, grng);
+  Graph g(32);
+  for (auto [a, b] : el.edges) g.add_edge(a, b);
+  const PartitionResult r1 = multilevel_partition(g, 2);
+  const PartitionResult r2 = multilevel_partition(g, 2);
+  EXPECT_EQ(r1.assignment, r2.assignment);
+}
+
+TEST(Partitioner, RejectsBadArguments) {
+  const Graph g = complete_graph(4);
+  EXPECT_THROW(multilevel_partition(g, 0), PreconditionError);
+  EXPECT_THROW(multilevel_partition(g, 5), PreconditionError);
+}
+
+TEST(Partitioner, RandomRegularCutWithinExpectedRange) {
+  // Degree-4 random graphs on 32 vertices have balanced bisection width
+  // around 10-20; anything wildly above means the partitioner regressed.
+  Rng grng(33);
+  gen::EdgeList el = gen::random_regular_graph(32, 4, grng);
+  Graph g(32);
+  for (auto [a, b] : el.edges) g.add_edge(a, b);
+  const PartitionResult r = multilevel_partition(g, 2);
+  EXPECT_DOUBLE_EQ(r.balance, 1.0);
+  EXPECT_LE(r.cut, 24);
+  EXPECT_GE(r.cut, 4);
+}
+
+// --------------------------------------------------- interaction graphs ----
+
+TEST(InteractionGraph, CountsGateMultiplicity) {
+  Circuit qc(3);
+  qc.cx(0, 1);
+  qc.cx(1, 0);  // same pair, reversed direction
+  qc.rzz(1, 2, 0.1);
+  qc.h(0);  // ignored
+  const Graph g = interaction_graph(qc);
+  EXPECT_EQ(g.edge_weight(0, 1), 2);
+  EXPECT_EQ(g.edge_weight(1, 2), 1);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(InteractionGraph, QftIsComplete) {
+  const Graph g = interaction_graph(gen::make_qft(8));
+  EXPECT_EQ(g.num_edges(), 28u);
+}
+
+TEST(InteractionGraph, TlimIsAWeightedPath) {
+  const Graph g = interaction_graph(gen::make_tlim(8));
+  EXPECT_EQ(g.num_edges(), 7u);
+  for (NodeId i = 0; i + 1 < 8; ++i) {
+    EXPECT_EQ(g.edge_weight(i, i + 1), 10);  // 10 Trotter steps
+  }
+  // Balanced min-cut of the TLIM interaction graph = one bond = 10 remote
+  // gates, reproducing the paper's Table I remote count for TLIM-32.
+  const PartitionResult r = multilevel_partition(g, 2);
+  EXPECT_EQ(r.cut, 10);
+}
+
+}  // namespace
+}  // namespace dqcsim::partition

@@ -1,0 +1,187 @@
+/// Unit + functional tests for the statevector simulator, including the
+/// end-to-end validation of the QFT generator against the exact DFT and
+/// cross-checks against the density-matrix simulator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "gen/qaoa.hpp"
+#include "gen/qft.hpp"
+#include "gen/tlim.hpp"
+#include "qsim/density_matrix.hpp"
+#include "qsim/statevector.hpp"
+
+namespace dqcsim::qsim {
+namespace {
+
+constexpr double kTol = 1e-10;
+
+TEST(Statevector, InitialStateIsGround) {
+  Statevector psi(3);
+  EXPECT_EQ(psi.dim(), 8u);
+  EXPECT_NEAR(std::abs(psi.amplitude(0) - Complex{1, 0}), 0.0, kTol);
+  EXPECT_NEAR(psi.norm2(), 1.0, kTol);
+}
+
+TEST(Statevector, BasisStateConstructor) {
+  Statevector psi(3, 5);
+  EXPECT_NEAR(std::abs(psi.amplitude(5) - Complex{1, 0}), 0.0, kTol);
+  EXPECT_NEAR(psi.prob_one(0), 1.0, kTol);  // bit 0 of 5 is set
+  EXPECT_NEAR(psi.prob_one(1), 0.0, kTol);
+  EXPECT_NEAR(psi.prob_one(2), 1.0, kTol);
+}
+
+TEST(Statevector, AmplitudeConstructorNormalizes) {
+  Statevector psi(std::vector<Complex>{{3.0, 0.0}, {4.0, 0.0}});
+  EXPECT_NEAR(psi.norm2(), 1.0, kTol);
+  EXPECT_NEAR(psi.amplitude(0).real(), 0.6, kTol);
+  EXPECT_NEAR(psi.amplitude(1).real(), 0.8, kTol);
+}
+
+TEST(Statevector, RejectsBadConstruction) {
+  EXPECT_THROW(Statevector(0), PreconditionError);
+  EXPECT_THROW(Statevector(25), PreconditionError);
+  EXPECT_THROW(Statevector(std::vector<Complex>{{1, 0}, {0, 0}, {0, 0}}),
+               PreconditionError);
+  EXPECT_THROW(Statevector(std::vector<Complex>{{0, 0}, {0, 0}}),
+               PreconditionError);
+}
+
+TEST(Statevector, HadamardMakesUniform) {
+  Statevector psi(1);
+  psi.apply_1q(hadamard(), 0);
+  EXPECT_NEAR(psi.prob_one(0), 0.5, kTol);
+  EXPECT_NEAR(psi.norm2(), 1.0, kTol);
+}
+
+TEST(Statevector, BellStateViaCircuit) {
+  Circuit qc(2);
+  qc.h(0);
+  qc.cx(0, 1);
+  Statevector psi(2);
+  psi.apply_circuit(qc);
+  const double s = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::abs(psi.amplitude(0) - Complex{s, 0}), 0.0, kTol);
+  EXPECT_NEAR(std::abs(psi.amplitude(3) - Complex{s, 0}), 0.0, kTol);
+  EXPECT_NEAR(std::abs(psi.amplitude(1)), 0.0, kTol);
+}
+
+TEST(Statevector, UnitariesPreserveNorm) {
+  Rng rng(5);
+  const Circuit qc = gen::make_qaoa_regular(8, 4, rng);
+  Statevector psi(8);
+  psi.apply_circuit(qc);
+  EXPECT_NEAR(psi.norm2(), 1.0, 1e-9);
+}
+
+TEST(Statevector, FidelityWithSelfIsOne) {
+  Circuit qc(3);
+  qc.h(0);
+  qc.cx(0, 1);
+  qc.rz(2, 0.7);
+  Statevector a(3), b(3);
+  a.apply_circuit(qc);
+  b.apply_circuit(qc);
+  EXPECT_NEAR(a.fidelity_with(b), 1.0, kTol);
+  EXPECT_NEAR(a.max_amplitude_difference(b), 0.0, kTol);
+}
+
+TEST(Statevector, FidelityDetectsOrthogonal) {
+  Statevector zero(1, 0), one(1, 1);
+  EXPECT_NEAR(zero.fidelity_with(one), 0.0, kTol);
+}
+
+TEST(Statevector, MatchesDensityMatrixOnRandomCircuit) {
+  // Cross-validation of the two simulators on a 4-qubit circuit.
+  Circuit qc(4);
+  qc.h(0);
+  qc.cx(0, 1);
+  qc.ry(2, 0.9);
+  qc.rzz(1, 2, 0.4);
+  qc.cp(3, 0, 0.8);
+  qc.swap(2, 3);
+  qc.tdg(1);
+
+  Statevector psi(4);
+  psi.apply_circuit(qc);
+  DensityMatrix rho(4);
+  for (const Gate& g : qc.gates()) rho.apply_gate(g);
+
+  // rho must equal |psi><psi|.
+  for (std::size_t r = 0; r < 16; ++r) {
+    for (std::size_t c = 0; c < 16; ++c) {
+      const Complex expected = psi.amplitude(r) * std::conj(psi.amplitude(c));
+      EXPECT_NEAR(std::abs(rho.element(r, c) - expected), 0.0, 1e-10);
+    }
+  }
+}
+
+// ------------------------------------------------ functional validation ----
+
+class QftFunctional : public ::testing::TestWithParam<int> {};
+
+TEST_P(QftFunctional, MatchesExactDftOnAllBasisStates) {
+  const int n = GetParam();
+  const Circuit qft = gen::make_qft(n);
+  for (std::size_t k = 0; k < (std::size_t{1} << n); ++k) {
+    Statevector psi(n, k);
+    psi.apply_circuit(qft);
+    const Statevector reference = qft_reference_state(n, k);
+    ASSERT_NEAR(psi.fidelity_with(reference), 1.0, 1e-9)
+        << "QFT-" << n << " on basis state " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, QftFunctional, ::testing::Values(1, 2, 3, 4,
+                                                                  5, 6));
+
+TEST(QftFunctional, SuperpositionInput) {
+  // Linearity check: QFT of (|0> + |3>)/sqrt(2) on 3 qubits.
+  const int n = 3;
+  const Circuit qft = gen::make_qft(n);
+  std::vector<Complex> amps(8, Complex{0, 0});
+  amps[0] = Complex{1, 0};
+  amps[3] = Complex{1, 0};
+  Statevector psi(amps);
+  psi.apply_circuit(qft);
+
+  const Statevector r0 = qft_reference_state(n, 0);
+  const Statevector r3 = qft_reference_state(n, 3);
+  std::vector<Complex> expected(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    expected[i] = (r0.amplitude(i) + r3.amplitude(i)) / std::sqrt(2.0);
+  }
+  const Statevector ref(expected);
+  EXPECT_NEAR(psi.fidelity_with(ref), 1.0, 1e-9);
+}
+
+TEST(TlimFunctional, TrotterStepPreservesNormAndActs) {
+  gen::TlimParams params;
+  params.steps = 2;
+  const Circuit qc = gen::make_tlim(6, params);
+  Statevector psi(6);
+  psi.apply_circuit(qc);
+  EXPECT_NEAR(psi.norm2(), 1.0, 1e-9);
+  // The transverse field must move population out of |000000>.
+  EXPECT_LT(std::norm(psi.amplitude(0)), 0.999);
+}
+
+TEST(QaoaFunctional, PlusStateIsUniformAfterHLayer) {
+  Rng rng(3);
+  const Circuit qc = gen::make_qaoa_regular(6, 2, rng);
+  Statevector psi(6);
+  psi.apply_circuit(qc);
+  EXPECT_NEAR(psi.norm2(), 1.0, 1e-9);
+  // QAOA output magnitudes are symmetric under global bit flip for MaxCut
+  // (Z2 symmetry of the cost Hamiltonian and the mixer).
+  for (std::size_t i = 0; i < psi.dim(); ++i) {
+    EXPECT_NEAR(std::norm(psi.amplitude(i)),
+                std::norm(psi.amplitude(psi.dim() - 1 - i)), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace dqcsim::qsim
