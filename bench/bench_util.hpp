@@ -6,6 +6,7 @@
 
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "dqcsim.hpp"
 
@@ -13,6 +14,19 @@ namespace dqcsim::bench {
 
 /// Number of stochastic runs per configuration (the paper averages 50).
 inline constexpr int kRuns = 50;
+
+/// Evaluate `designs` on one configuration through the batched matrix API:
+/// all design x seed cells share one thread pool, so the whole sweep runs
+/// at full machine width. Element i corresponds to designs[i].
+inline std::vector<runtime::AggregateResult> run_designs(
+    const Circuit& qc, const std::vector<int>& assignment,
+    const runtime::ArchConfig& config,
+    const std::vector<runtime::DesignKind>& designs, int runs = kRuns) {
+  std::vector<runtime::DesignPoint> points;
+  points.reserve(designs.size());
+  for (const auto design : designs) points.push_back({design, config});
+  return runtime::run_design_matrix(qc, assignment, points, runs);
+}
 
 /// Print the Table II operation properties actually in effect, so every
 /// bench is self-describing.

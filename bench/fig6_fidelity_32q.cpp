@@ -24,12 +24,14 @@ int main() {
     const Circuit qc = gen::make_benchmark(id);
     const auto part = bench::partition2(qc);
     const double ideal = runtime::ideal_fidelity(qc, config);
+    const auto aggregates = bench::run_designs(qc, part.assignment, config,
+                                               runtime::distributed_designs());
 
+    std::size_t next = 0;
     for (const auto design : runtime::all_designs()) {
       double fid = ideal, age = 0.0;
       if (design != runtime::DesignKind::IdealMono) {
-        const auto agg = runtime::run_design(qc, part.assignment, config,
-                                             design, bench::kRuns);
+        const auto& agg = aggregates[next++];
         fid = agg.fidelity.mean();
         age = agg.avg_pair_age.mean();
       }

@@ -5,6 +5,7 @@
 /// ideal depth at 20 communication qubits while fidelity barely moves.
 
 #include <iostream>
+#include <iterator>
 
 #include "bench_util.hpp"
 
@@ -24,25 +25,38 @@ int main() {
   const runtime::DesignKind designs[] = {
       runtime::DesignKind::SyncBuf, runtime::DesignKind::AsyncBuf,
       runtime::DesignKind::AdaptBuf, runtime::DesignKind::InitBuf};
+  const int comm_counts[] = {10, 15, 20};
 
-  for (const int comm : {10, 15, 20}) {
+  // The whole comm x design grid goes through one run_design_matrix call:
+  // every (config, design, seed) cell shares the same thread pool.
+  std::vector<runtime::DesignPoint> points;
+  for (const int comm : comm_counts) {
     runtime::ArchConfig config;
     config.comm_per_node = comm;
     config.buffer_per_node = comm;
-    const double ideal = runtime::ideal_depth(qc, config);
-    for (const auto design : designs) {
-      const auto agg = runtime::run_design(qc, part.assignment, config,
-                                           design, bench::kRuns);
-      table.add_row({TablePrinter::fmt(comm), design_name(design),
-                     TablePrinter::fmt(agg.depth.mean(), 1),
-                     TablePrinter::fmt(agg.depth.mean() / ideal, 2),
-                     TablePrinter::fmt(agg.fidelity.mean(), 4)});
-      csv.add_row({std::to_string(comm), design_name(design),
-                   TablePrinter::fmt(agg.depth.mean(), 3),
-                   TablePrinter::fmt(agg.depth.mean() / ideal, 4),
-                   TablePrinter::fmt(agg.fidelity.mean(), 5)});
+    for (const auto design : designs) points.push_back({design, config});
+  }
+  const auto aggregates =
+      runtime::run_design_matrix(qc, part.assignment, points, bench::kRuns);
+
+  // Rows read (design, config) back from the points grid itself, so the
+  // result pairing cannot drift from the order the matrix was built in.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const runtime::DesignPoint& point = points[i];
+    const auto& agg = aggregates[i];
+    const int comm = point.config.comm_per_node;
+    const double ideal = runtime::ideal_depth(qc, point.config);
+    table.add_row({TablePrinter::fmt(comm), design_name(point.design),
+                   TablePrinter::fmt(agg.depth.mean(), 1),
+                   TablePrinter::fmt(agg.depth.mean() / ideal, 2),
+                   TablePrinter::fmt(agg.fidelity.mean(), 4)});
+    csv.add_row({std::to_string(comm), design_name(point.design),
+                 TablePrinter::fmt(agg.depth.mean(), 3),
+                 TablePrinter::fmt(agg.depth.mean() / ideal, 4),
+                 TablePrinter::fmt(agg.fidelity.mean(), 5)});
+    if ((i + 1) % std::size(designs) == 0) {
+      table.add_row({"", "", "", "", ""});
     }
-    table.add_row({"", "", "", "", ""});
   }
   table.print(std::cout);
 

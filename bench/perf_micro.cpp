@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "dqcsim.hpp"
 
 namespace {
@@ -89,6 +91,66 @@ void BM_EngineRunQaoaR8_32(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EngineRunQaoaR8_32);
+
+// Serial vs parallel Monte-Carlo experiment engine. Run both and compare
+// wall time per iteration: the parallel variant fans the same seeds across
+// a thread pool (runtime::run_design threads=0) and must produce identical
+// statistics, so any wall-clock gap is pure speedup.
+void BM_RunDesignSerial(benchmark::State& state) {
+  const Circuit qc = gen::make_benchmark(gen::BenchmarkId::QAOA_R8_32);
+  const auto part = runtime::partition_circuit(qc, 2);
+  const runtime::ArchConfig config;
+  const int runs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto agg =
+        runtime::run_design(qc, part.assignment, config,
+                            runtime::DesignKind::AsyncBuf, runs,
+                            /*base_seed=*/1000, /*threads=*/1);
+    benchmark::DoNotOptimize(agg.depth.mean());
+  }
+  state.SetItemsProcessed(state.iterations() * runs);
+  state.SetLabel("1 thread");
+}
+BENCHMARK(BM_RunDesignSerial)->Arg(16)->Arg(32)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RunDesignParallel(benchmark::State& state) {
+  const Circuit qc = gen::make_benchmark(gen::BenchmarkId::QAOA_R8_32);
+  const auto part = runtime::partition_circuit(qc, 2);
+  const runtime::ArchConfig config;
+  const int runs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto agg =
+        runtime::run_design(qc, part.assignment, config,
+                            runtime::DesignKind::AsyncBuf, runs,
+                            /*base_seed=*/1000, /*threads=*/0);
+    benchmark::DoNotOptimize(agg.depth.mean());
+  }
+  state.SetItemsProcessed(state.iterations() * runs);
+  // parallel_for clamps workers to the run count.
+  const std::size_t workers = std::min(ThreadPool::hardware_threads(),
+                                       static_cast<std::size_t>(runs));
+  state.SetLabel(std::to_string(workers) + " threads");
+}
+BENCHMARK(BM_RunDesignParallel)->Arg(16)->Arg(32)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RunDesignMatrixAllDesigns(benchmark::State& state) {
+  const Circuit qc = gen::make_benchmark(gen::BenchmarkId::QAOA_R8_32);
+  const auto part = runtime::partition_circuit(qc, 2);
+  std::vector<runtime::DesignPoint> points;
+  for (const auto design : runtime::distributed_designs()) {
+    points.push_back({design, runtime::ArchConfig{}});
+  }
+  for (auto _ : state) {
+    const auto aggregates =
+        runtime::run_design_matrix(qc, part.assignment, points, 8);
+    benchmark::DoNotOptimize(aggregates.front().depth.mean());
+  }
+  state.SetItemsProcessed(state.iterations() * points.size() * 8);
+}
+BENCHMARK(BM_RunDesignMatrixAllDesigns)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_DensityMatrixCnot6Qubit(benchmark::State& state) {
   qsim::DensityMatrix rho(6);

@@ -24,6 +24,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 
 #include "des/event_queue.hpp"
 #include "des/simulator.hpp"

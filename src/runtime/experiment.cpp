@@ -1,10 +1,26 @@
 #include "runtime/experiment.hpp"
 
+#include <cstddef>
+
 #include "circuit/interaction_graph.hpp"
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "runtime/engine.hpp"
 
 namespace dqcsim::runtime {
+
+namespace {
+
+/// Shared fidelity model for one architecture configuration.
+noise::TeleportFidelityModel make_teleport_model(const ArchConfig& config) {
+  noise::TeleportNoiseParams tele;
+  tele.local_2q_fidelity = config.fid.local_cnot;
+  tele.local_1q_fidelity = config.fid.one_qubit;
+  tele.readout_fidelity = config.fid.measurement;
+  return noise::TeleportFidelityModel(tele);
+}
+
+}  // namespace
 
 partition::PartitionResult partition_circuit(const Circuit& circuit,
                                              int num_nodes,
@@ -18,21 +34,66 @@ partition::PartitionResult partition_circuit(const Circuit& circuit,
 AggregateResult run_design(const Circuit& circuit,
                            const std::vector<int>& assignment,
                            const ArchConfig& config, DesignKind design,
-                           int runs, std::uint64_t base_seed) {
+                           int runs, std::uint64_t base_seed, int threads) {
   DQCSIM_EXPECTS(runs >= 1);
-  noise::TeleportNoiseParams tele;
-  tele.local_2q_fidelity = config.fid.local_cnot;
-  tele.local_1q_fidelity = config.fid.one_qubit;
-  tele.readout_fidelity = config.fid.measurement;
-  const noise::TeleportFidelityModel model(tele);
+  const noise::TeleportFidelityModel model = make_teleport_model(config);
+
+  // Per-run results land in disjoint slots; the streaming aggregate is then
+  // folded in run order, so thread count and completion order never change
+  // a single bit of the statistics.
+  std::vector<RunResult> results(static_cast<std::size_t>(runs));
+  parallel_for(
+      results.size(),
+      [&](std::size_t r) {
+        ExecutionEngine engine(circuit, assignment, config, design,
+                               base_seed + static_cast<std::uint64_t>(r),
+                               &model);
+        results[r] = engine.run();
+      },
+      threads <= 0 ? 0 : static_cast<std::size_t>(threads));
 
   AggregateResult aggregate;
-  for (int r = 0; r < runs; ++r) {
-    ExecutionEngine engine(circuit, assignment, config, design,
-                           base_seed + static_cast<std::uint64_t>(r), &model);
-    aggregate.add(engine.run());
-  }
+  for (const RunResult& run : results) aggregate.add(run);
   return aggregate;
+}
+
+std::vector<AggregateResult> run_design_matrix(
+    const Circuit& circuit, const std::vector<int>& assignment,
+    const std::vector<DesignPoint>& points, int runs, std::uint64_t base_seed,
+    int threads) {
+  DQCSIM_EXPECTS(runs >= 1);
+  if (points.empty()) return {};
+
+  std::vector<noise::TeleportFidelityModel> models;
+  models.reserve(points.size());
+  for (const DesignPoint& point : points) {
+    models.push_back(make_teleport_model(point.config));
+  }
+
+  // One flat cell grid: all point x run pairs share the pool, so a sweep of
+  // many small-run points parallelizes as well as one large run_design.
+  const std::size_t num_runs = static_cast<std::size_t>(runs);
+  std::vector<RunResult> cells(points.size() * num_runs);
+  parallel_for(
+      cells.size(),
+      [&](std::size_t cell) {
+        const std::size_t p = cell / num_runs;
+        const std::size_t r = cell % num_runs;
+        ExecutionEngine engine(circuit, assignment, points[p].config,
+                               points[p].design,
+                               base_seed + static_cast<std::uint64_t>(r),
+                               &models[p]);
+        cells[cell] = engine.run();
+      },
+      threads <= 0 ? 0 : static_cast<std::size_t>(threads));
+
+  std::vector<AggregateResult> aggregates(points.size());
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    for (std::size_t r = 0; r < num_runs; ++r) {
+      aggregates[p].add(cells[p * num_runs + r]);
+    }
+  }
+  return aggregates;
 }
 
 double ideal_depth(const Circuit& circuit, const ArchConfig& config) {

@@ -24,10 +24,32 @@ partition::PartitionResult partition_circuit(const Circuit& circuit,
 /// Run `design` on the partitioned circuit `runs` times with seeds
 /// base_seed, base_seed+1, ... and aggregate depth/fidelity statistics.
 /// The teleported-gate fidelity model is built once and shared.
+///
+/// Runs fan out across a thread pool of `threads` workers (0 = all hardware
+/// threads, 1 = serial in the calling thread). Seed derivation is per-run
+/// (base_seed + r) and results are folded into the aggregate in run order,
+/// so the statistics are bit-identical for every thread count.
 AggregateResult run_design(const Circuit& circuit,
                            const std::vector<int>& assignment,
                            const ArchConfig& config, DesignKind design,
-                           int runs, std::uint64_t base_seed = 1000);
+                           int runs, std::uint64_t base_seed = 1000,
+                           int threads = 0);
+
+/// One cell of a design x configuration sweep.
+struct DesignPoint {
+  DesignKind design = DesignKind::AsyncBuf;
+  ArchConfig config;
+};
+
+/// Batched sweep: evaluate every point with `runs` seeds each, scheduling
+/// all point x run cells onto one shared pool so small per-point run counts
+/// still saturate the machine. Element i of the result equals
+/// run_design(circuit, assignment, points[i].config, points[i].design,
+/// runs, base_seed) bit-for-bit, for every thread count.
+std::vector<AggregateResult> run_design_matrix(
+    const Circuit& circuit, const std::vector<int>& assignment,
+    const std::vector<DesignPoint>& points, int runs,
+    std::uint64_t base_seed = 1000, int threads = 0);
 
 /// Depth of the circuit on an ideal monolithic device (lower bound used as
 /// the normalization of Figures 5, 7 and 8).

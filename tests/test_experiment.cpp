@@ -1,0 +1,194 @@
+/// Unit tests for the experiment driver: thread-pool mechanics, and the
+/// determinism contract that parallel Monte-Carlo execution is bit-identical
+/// to the serial path for every thread count.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "gen/benchmarks.hpp"
+#include "runtime/experiment.hpp"
+
+namespace dqcsim::runtime {
+namespace {
+
+// ---------------------------------------------------------- thread pool ----
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 100);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsPendingJobs) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // ~ThreadPool joins after the queue drains
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(16,
+                                 [](std::size_t i) {
+                                   if (i == 7) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool must still be usable after an exception.
+  std::atomic<int> counter{0};
+  pool.parallel_for(8, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(ThreadPool, FreeParallelForHandlesEdgeCases) {
+  std::atomic<int> counter{0};
+  parallel_for(0, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 0);
+  parallel_for(1, [&](std::size_t) { counter.fetch_add(1); }, 8);
+  EXPECT_EQ(counter.load(), 1);
+  parallel_for(10, [&](std::size_t) { counter.fetch_add(1); }, 1);
+  EXPECT_EQ(counter.load(), 11);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+// ----------------------------------------------------------- determinism ----
+
+void expect_identical(const Accumulator& a, const Accumulator& b,
+                      const char* what) {
+  EXPECT_EQ(a.count(), b.count()) << what;
+  EXPECT_EQ(a.mean(), b.mean()) << what;
+  EXPECT_EQ(a.stddev(), b.stddev()) << what;
+  EXPECT_EQ(a.min(), b.min()) << what;
+  EXPECT_EQ(a.max(), b.max()) << what;
+}
+
+void expect_identical(const AggregateResult& a, const AggregateResult& b) {
+  expect_identical(a.depth, b.depth, "depth");
+  expect_identical(a.fidelity, b.fidelity, "fidelity");
+  expect_identical(a.epr_wasted, b.epr_wasted, "epr_wasted");
+  expect_identical(a.epr_expired, b.epr_expired, "epr_expired");
+  expect_identical(a.avg_pair_age, b.avg_pair_age, "avg_pair_age");
+  expect_identical(a.avg_remote_wait, b.avg_remote_wait, "avg_remote_wait");
+}
+
+TEST(ExperimentDeterminism, ParallelRunDesignIsBitIdenticalToSerial) {
+  const Circuit qc = gen::make_benchmark(gen::BenchmarkId::QAOA_R8_32);
+  const auto part = partition_circuit(qc, 2);
+  const ArchConfig config;
+  constexpr int kRuns = 16;
+  constexpr std::uint64_t kSeed = 1000;
+
+  for (const DesignKind design : distributed_designs()) {
+    const AggregateResult serial = run_design(qc, part.assignment, config,
+                                              design, kRuns, kSeed,
+                                              /*threads=*/1);
+    for (const int threads : {2, 4, 8}) {
+      SCOPED_TRACE(design_name(design) + " @ " + std::to_string(threads) +
+                   " threads");
+      const AggregateResult parallel = run_design(
+          qc, part.assignment, config, design, kRuns, kSeed, threads);
+      expect_identical(serial, parallel);
+    }
+  }
+}
+
+TEST(ExperimentDeterminism, RepeatedParallelRunsAgree) {
+  const Circuit qc = gen::make_benchmark(gen::BenchmarkId::QAOA_R4_32);
+  const auto part = partition_circuit(qc, 2);
+  const AggregateResult first = run_design(qc, part.assignment, {},
+                                           DesignKind::AsyncBuf, 8, 42, 4);
+  const AggregateResult second = run_design(qc, part.assignment, {},
+                                            DesignKind::AsyncBuf, 8, 42, 4);
+  expect_identical(first, second);
+}
+
+TEST(ExperimentDeterminism, DifferentBaseSeedsDiffer) {
+  const Circuit qc = gen::make_benchmark(gen::BenchmarkId::QAOA_R8_32);
+  const auto part = partition_circuit(qc, 2);
+  const auto a = run_design(qc, part.assignment, {}, DesignKind::AsyncBuf, 8,
+                            1000, 4);
+  const auto b = run_design(qc, part.assignment, {}, DesignKind::AsyncBuf, 8,
+                            2000, 4);
+  EXPECT_NE(a.depth.mean(), b.depth.mean());
+}
+
+// ---------------------------------------------------------- matrix sweeps ----
+
+TEST(RunDesignMatrix, MatchesIndividualRunDesignCalls) {
+  const Circuit qc = gen::make_benchmark(gen::BenchmarkId::QAOA_R8_32);
+  const auto part = partition_circuit(qc, 2);
+  constexpr int kRuns = 6;
+
+  std::vector<DesignPoint> points;
+  for (const DesignKind design : distributed_designs()) {
+    points.push_back({design, ArchConfig{}});
+  }
+  ArchConfig wide;
+  wide.comm_per_node = 20;
+  wide.buffer_per_node = 20;
+  points.push_back({DesignKind::AsyncBuf, wide});
+
+  const auto matrix =
+      run_design_matrix(qc, part.assignment, points, kRuns, 1000, 4);
+  ASSERT_EQ(matrix.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    SCOPED_TRACE("point " + std::to_string(i));
+    const AggregateResult direct =
+        run_design(qc, part.assignment, points[i].config, points[i].design,
+                   kRuns, 1000, /*threads=*/1);
+    expect_identical(matrix[i], direct);
+  }
+}
+
+TEST(RunDesignMatrix, EmptyPointListYieldsEmptyResult) {
+  const Circuit qc = gen::make_benchmark(gen::BenchmarkId::QAOA_R4_32);
+  const auto part = partition_circuit(qc, 2);
+  EXPECT_TRUE(run_design_matrix(qc, part.assignment, {}, 4).empty());
+}
+
+TEST(RunDesignMatrix, ThreadCountNeverChangesResults) {
+  const Circuit qc = gen::make_benchmark(gen::BenchmarkId::TLIM_32);
+  const auto part = partition_circuit(qc, 2);
+  const std::vector<DesignPoint> points = {{DesignKind::SyncBuf, {}},
+                                           {DesignKind::InitBuf, {}}};
+  const auto serial = run_design_matrix(qc, part.assignment, points, 5, 7, 1);
+  const auto parallel =
+      run_design_matrix(qc, part.assignment, points, 5, 7, 8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expect_identical(serial[i], parallel[i]);
+  }
+}
+
+}  // namespace
+}  // namespace dqcsim::runtime

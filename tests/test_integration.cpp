@@ -18,6 +18,7 @@ struct PipelineResult {
 
 /// Run all five distributed designs on a benchmark with a modest number of
 /// seeds (kept small: these are integration tests, not the bench harness).
+/// Goes through run_design_matrix so one pool covers the whole design sweep.
 PipelineResult run_pipeline(gen::BenchmarkId id, const ArchConfig& config,
                             int runs = 8) {
   const Circuit qc = gen::make_benchmark(id);
@@ -25,10 +26,13 @@ PipelineResult run_pipeline(gen::BenchmarkId id, const ArchConfig& config,
   PipelineResult result;
   result.ideal_depth = ideal_depth(qc, config);
   result.ideal_fidelity = ideal_fidelity(qc, config);
-  const auto designs = distributed_designs();
-  for (std::size_t i = 0; i < designs.size(); ++i) {
-    result.by_design[i] =
-        run_design(qc, part.assignment, config, designs[i], runs);
+  std::vector<DesignPoint> points;
+  for (const DesignKind design : distributed_designs()) {
+    points.push_back({design, config});
+  }
+  const auto aggregates = run_design_matrix(qc, part.assignment, points, runs);
+  for (std::size_t i = 0; i < aggregates.size(); ++i) {
+    result.by_design[i] = aggregates[i];
   }
   return result;
 }

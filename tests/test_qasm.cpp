@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <numbers>
+#include <string>
 
 #include "circuit/qasm.hpp"
 #include "common/error.hpp"
@@ -150,6 +152,40 @@ TEST(QasmRoundTrip, QaoaBenchmark) {
 TEST(QasmRoundTrip, TlimBenchmark) {
   expect_round_trip(gen::make_benchmark(gen::BenchmarkId::TLIM_32));
 }
+
+// Property tests over the full benchmark suite: parse(emit(qc)) preserves
+// the gate list exactly, and emit reaches a fixed point after one cycle.
+class QasmBenchmarkRoundTrip
+    : public ::testing::TestWithParam<gen::BenchmarkId> {};
+
+TEST_P(QasmBenchmarkRoundTrip, ParseEmitParseIsIdentity) {
+  const Circuit original = gen::make_benchmark(GetParam());
+  expect_round_trip(original);
+
+  // Second cycle: the emitted text itself must be a fixed point, so any
+  // external tool that re-serializes sees a byte-identical program.
+  const std::string once = to_qasm(original);
+  const std::string twice = to_qasm(from_qasm(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST_P(QasmBenchmarkRoundTrip, ParsedCircuitKeepsStructure) {
+  const Circuit original = gen::make_benchmark(GetParam());
+  const Circuit back = from_qasm(to_qasm(original));
+  EXPECT_EQ(back.num_qubits(), gen::benchmark_qubits(GetParam()));
+  EXPECT_EQ(back.unit_depth(), original.unit_depth());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, QasmBenchmarkRoundTrip,
+    ::testing::ValuesIn(gen::all_benchmarks()),
+    [](const ::testing::TestParamInfo<gen::BenchmarkId>& tp) {
+      std::string name = gen::benchmark_name(tp.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
 
 }  // namespace
 }  // namespace dqcsim
