@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "dqcsim.hpp"
 
 namespace dqcsim::bench {
@@ -26,6 +27,20 @@ inline std::vector<runtime::AggregateResult> run_designs(
   points.reserve(designs.size());
   for (const auto design : designs) points.push_back({design, config});
   return runtime::run_design_matrix(qc, assignment, points, runs);
+}
+
+/// run_designs with the wall time recorded in `report` under `section`
+/// (items = design x seed cells), so every figure leaves a BENCH_*.json
+/// perf trajectory alongside its CSV.
+inline std::vector<runtime::AggregateResult> run_designs_timed(
+    BenchReport& report, const std::string& section, const Circuit& qc,
+    const std::vector<int>& assignment, const runtime::ArchConfig& config,
+    const std::vector<runtime::DesignKind>& designs, int runs = kRuns) {
+  std::vector<runtime::AggregateResult> out;
+  report.time_section(
+      section, static_cast<std::size_t>(runs) * designs.size(),
+      [&] { out = run_designs(qc, assignment, config, designs, runs); });
+  return out;
 }
 
 /// Print the Table II operation properties actually in effect, so every

@@ -63,10 +63,20 @@ int main() {
   print_pattern("Synchronous", sync_short, display_horizon);
   print_pattern("Asynchronous", async_short, display_horizon);
 
-  const auto sync_long =
-      run_pattern(ent::AttemptSchedule::Synchronous, stats_horizon);
-  const auto async_long =
-      run_pattern(ent::AttemptSchedule::Asynchronous, stats_horizon);
+  bench::BenchReport report("fig3_generation_pattern");
+  ent::ArrivalTrace sync_long, async_long;
+  report.time_section(
+      "fig3/sync_long_horizon", static_cast<std::size_t>(stats_horizon),
+      [&] {
+        sync_long = run_pattern(ent::AttemptSchedule::Synchronous,
+                                stats_horizon);
+      });
+  report.time_section(
+      "fig3/async_long_horizon", static_cast<std::size_t>(stats_horizon),
+      [&] {
+        async_long = run_pattern(ent::AttemptSchedule::Asynchronous,
+                                 stats_horizon);
+      });
 
   TablePrinter table({"schedule", "pairs generated", "rate [pairs/T_local]",
                       "burstiness (CV)"});
@@ -86,6 +96,7 @@ int main() {
   }
   std::cout << "Long-horizon statistics (t = 4000):\n";
   table.print(std::cout);
+  report.write();
   std::cout << "\nPaper shape: identical generation rates; synchronous "
                "arrivals burst at window boundaries while asynchronous "
                "arrivals spread uniformly (Fig. 3).\n";

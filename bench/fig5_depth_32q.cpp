@@ -19,13 +19,15 @@ int main() {
   CsvWriter csv(bench::csv_path("fig5_depth_32q"),
                 {"benchmark", "design", "depth_mean", "depth_rel_ideal",
                  "depth_ci95", "epr_wasted"});
+  bench::BenchReport report("fig5_depth_32q");
 
   for (const auto id : gen::benchmarks_32q()) {
     const Circuit qc = gen::make_benchmark(id);
     const auto part = bench::partition2(qc);
     const double ideal = runtime::ideal_depth(qc, config);
-    const auto aggregates = bench::run_designs(qc, part.assignment, config,
-                                               runtime::distributed_designs());
+    const auto aggregates = bench::run_designs_timed(
+        report, "fig5/" + benchmark_name(id), qc, part.assignment, config,
+        runtime::distributed_designs());
 
     std::size_t next = 0;
     for (const auto design : runtime::all_designs()) {
@@ -47,6 +49,7 @@ int main() {
     }
   }
   table.print(std::cout);
+  report.write();
 
   std::cout
       << "\nPaper shape (Fig. 5): original >> sync_buf > async_buf >= "

@@ -36,8 +36,14 @@ int main() {
     config.buffer_per_node = comm;
     for (const auto design : designs) points.push_back({design, config});
   }
-  const auto aggregates =
-      runtime::run_design_matrix(qc, part.assignment, points, bench::kRuns);
+  bench::BenchReport report("fig7_comm_sweep");
+  std::vector<runtime::AggregateResult> aggregates;
+  report.time_section("fig7/comm_sweep_matrix",
+                      points.size() * static_cast<std::size_t>(bench::kRuns),
+                      [&] {
+                        aggregates = runtime::run_design_matrix(
+                            qc, part.assignment, points, bench::kRuns);
+                      });
 
   // Rows read (design, config) back from the points grid itself, so the
   // result pairing cannot drift from the order the matrix was built in.
@@ -59,6 +65,7 @@ int main() {
     }
   }
   table.print(std::cout);
+  report.write();
 
   std::cout << "\nPaper shape (Fig. 7): depth falls as communication/buffer "
                "qubits increase; init_buf is consistently best and "

@@ -20,14 +20,16 @@ int main() {
   CsvWriter csv(bench::csv_path("fig8_depth_64q"),
                 {"benchmark", "design", "depth_mean", "depth_rel_ideal",
                  "depth_ci95"});
+  bench::BenchReport report("fig8_depth_64q");
 
   for (const auto id :
        {gen::BenchmarkId::QAOA_R4_64, gen::BenchmarkId::QAOA_R8_64}) {
     const Circuit qc = gen::make_benchmark(id);
     const auto part = bench::partition2(qc);
     const double ideal = runtime::ideal_depth(qc, config);
-    const auto aggregates = bench::run_designs(qc, part.assignment, config,
-                                               runtime::distributed_designs());
+    const auto aggregates = bench::run_designs_timed(
+        report, "fig8/" + benchmark_name(id), qc, part.assignment, config,
+        runtime::distributed_designs());
 
     std::size_t next = 0;
     for (const auto design : runtime::all_designs()) {
@@ -48,6 +50,7 @@ int main() {
     }
   }
   table.print(std::cout);
+  report.write();
 
   std::cout << "\nPaper shape (Fig. 8): the design ordering from Fig. 5 "
                "persists at 64 qubits; init_buf reduces depth vs sync_buf "

@@ -1,17 +1,34 @@
 /// \file perf_micro.cpp
 /// \brief google-benchmark microbenchmarks of the library's hot paths
 /// (not a paper experiment): DES throughput, partitioner, DAG analysis,
-/// density-matrix gadget evaluation, and a full engine run.
+/// qsim statevector/density-matrix kernels (fused and unfused), and full
+/// engine runs. Results are also exported to BENCH_perf_micro.json for the
+/// CI perf gate (see bench_report.hpp).
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <string>
+#include <vector>
 
+#include "bench_report.hpp"
 #include "dqcsim.hpp"
 
 namespace {
 
 using namespace dqcsim;
+
+/// The paper's 32-qubit benchmark families (TLIM / QAOA-r8 / QFT, Table I)
+/// rebuilt at a statevector-feasible width `n`: identical gate structure
+/// per layer, scaled register.
+Circuit paper_class_circuit(const std::string& family, int n) {
+  if (family == "TLIM") return gen::make_tlim(n, {});
+  if (family == "QAOA-r8") {
+    Rng rng(12);  // fixed seed: same graph for fused and unfused runs
+    return gen::make_qaoa_regular(n, 8, rng);
+  }
+  return gen::make_qft(n);
+}
 
 void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   for (auto _ : state) {
@@ -162,6 +179,124 @@ void BM_DensityMatrixCnot6Qubit(benchmark::State& state) {
 }
 BENCHMARK(BM_DensityMatrixCnot6Qubit);
 
+void BM_DensityMatrixHadamard8Qubit(benchmark::State& state) {
+  qsim::DensityMatrix rho(8);
+  const auto u = qsim::hadamard();
+  for (auto _ : state) {
+    rho.apply_1q(u, 3);
+    benchmark::DoNotOptimize(rho.trace());
+  }
+}
+BENCHMARK(BM_DensityMatrixHadamard8Qubit);
+
+// --- statevector apply_circuit: the paper's 32q-class circuit families ----
+// (TLIM / QAOA-r8 / QFT of Table I) at statevector-feasible width, run
+// unfused gate-by-gate vs through the gate-fusion pass. The Fused/Unfused
+// wall-time ratio is the fusion speedup the CI perf gate tracks.
+
+void sv_apply_unfused(benchmark::State& state, const std::string& family) {
+  const int n = static_cast<int>(state.range(0));
+  const Circuit qc = paper_class_circuit(family, n);
+  for (auto _ : state) {
+    qsim::Statevector psi(n);
+    psi.apply_circuit(qc);
+    benchmark::DoNotOptimize(psi.amplitude(0));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(qc.num_gates()));
+  state.SetLabel(std::to_string(qc.num_gates()) + " gates");
+}
+
+void sv_apply_fused(benchmark::State& state, const std::string& family) {
+  const int n = static_cast<int>(state.range(0));
+  const Circuit qc = paper_class_circuit(family, n);
+  const FusedCircuit fc = fuse_circuit(qc);
+  for (auto _ : state) {
+    qsim::Statevector psi(n);
+    psi.apply_fused(fc);
+    benchmark::DoNotOptimize(psi.amplitude(0));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(qc.num_gates()));
+  state.SetLabel(std::to_string(fc.num_ops()) + " fused ops");
+}
+
+void BM_SvApplyCircuitUnfused_TLIM(benchmark::State& state) {
+  sv_apply_unfused(state, "TLIM");
+}
+void BM_SvApplyCircuitFused_TLIM(benchmark::State& state) {
+  sv_apply_fused(state, "TLIM");
+}
+void BM_SvApplyCircuitUnfused_QAOA_R8(benchmark::State& state) {
+  sv_apply_unfused(state, "QAOA-r8");
+}
+void BM_SvApplyCircuitFused_QAOA_R8(benchmark::State& state) {
+  sv_apply_fused(state, "QAOA-r8");
+}
+void BM_SvApplyCircuitUnfused_QFT(benchmark::State& state) {
+  sv_apply_unfused(state, "QFT");
+}
+void BM_SvApplyCircuitFused_QFT(benchmark::State& state) {
+  sv_apply_fused(state, "QFT");
+}
+// 22 qubits (64 MiB state) is the headline width: big enough that the
+// cache-block batching dominates; 16 covers the L2-resident small case.
+BENCHMARK(BM_SvApplyCircuitUnfused_TLIM)->Arg(16)->Arg(22);
+BENCHMARK(BM_SvApplyCircuitFused_TLIM)->Arg(16)->Arg(22);
+BENCHMARK(BM_SvApplyCircuitUnfused_QAOA_R8)->Arg(16)->Arg(22);
+BENCHMARK(BM_SvApplyCircuitFused_QAOA_R8)->Arg(16)->Arg(22);
+BENCHMARK(BM_SvApplyCircuitUnfused_QFT)->Arg(16)->Arg(22);
+BENCHMARK(BM_SvApplyCircuitFused_QFT)->Arg(16)->Arg(22);
+
+void BM_FuseCircuitQft20(benchmark::State& state) {
+  const Circuit qc = gen::make_qft(20);
+  for (auto _ : state) {
+    const FusedCircuit fc = fuse_circuit(qc);
+    benchmark::DoNotOptimize(fc.num_ops());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(qc.num_gates()));
+}
+BENCHMARK(BM_FuseCircuitQft20);
+
+/// Console output plus capture of every run for the JSON report.
+class JsonExportReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonExportReporter(bench::BenchReport& report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      // Note: only RT_Iteration runs are exported; the error/skip field is
+      // not consulted (its name changed across google-benchmark versions).
+      if (run.run_type != Run::RT_Iteration) continue;
+      bench::KernelResult k;
+      k.name = run.benchmark_name();
+      k.iterations = static_cast<double>(run.iterations);
+      if (run.iterations > 0) {
+        k.ns_per_op = run.real_accumulated_time /
+                      static_cast<double>(run.iterations) * 1e9;
+      }
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) k.items_per_s = it->second;
+      k.label = run.report_label;
+      report_.add(std::move(k));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchReport& report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bench::BenchReport report("perf_micro");
+  JsonExportReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  report.write();
+  benchmark::Shutdown();
+  return 0;
+}

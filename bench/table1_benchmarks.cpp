@@ -20,9 +20,15 @@ int main() {
   CsvWriter csv(bench::csv_path("table1_benchmarks"),
                 {"name", "qubits", "local_2q", "remote_2q", "oneq", "depth"});
 
+  bench::BenchReport report("table1_benchmarks");
   for (const auto id : gen::all_benchmarks()) {
-    const Circuit qc = gen::make_benchmark(id);
-    const auto part = bench::partition2(qc);
+    Circuit qc(0);
+    partition::PartitionResult part;
+    report.time_section("table1/build+partition/" + benchmark_name(id), 1,
+                        [&] {
+                          qc = gen::make_benchmark(id);
+                          part = bench::partition2(qc);
+                        });
     const auto placement = sched::classify_gates(qc, part.assignment);
     const auto depth = qc.unit_depth();
 
@@ -37,6 +43,7 @@ int main() {
                  std::to_string(placement.num_1q), std::to_string(depth)});
   }
   table.print(std::cout);
+  report.write();
 
   std::cout << "\nPaper reference rows (Table I):\n"
                "  TLIM-32:    300 local / 10 remote / 640 1Q / depth 40\n"

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Gate CI on benchmark regressions.
+
+Compares a freshly produced BENCH_*.json report (see bench/bench_report.hpp
+for the schema) against the committed baseline. A kernel regresses when its
+ns_per_op exceeds baseline * threshold. Only kernels present in the baseline
+are tracked, so adding new benchmarks never breaks the gate; a tracked
+kernel that disappears from the current report fails it (a silently dropped
+benchmark is itself a regression).
+
+Usage:
+    check_bench_regression.py CURRENT.json BASELINE.json [--threshold 1.25]
+
+Refreshing the baseline: download the bench-reports artifact from a trusted
+run on main and commit it as ci/bench_baseline.json (see README).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_kernels(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema_version") != 1:
+        sys.exit(f"{path}: unsupported schema_version {doc.get('schema_version')}")
+    return {k["name"]: k for k in doc.get("kernels", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="fail when current ns_per_op > baseline * threshold",
+    )
+    args = parser.parse_args()
+
+    current = load_kernels(args.current)
+    baseline = load_kernels(args.baseline)
+
+    failures = []
+    rows = []
+    for name, base in sorted(baseline.items()):
+        base_ns = base.get("ns_per_op", 0.0)
+        cur = current.get(name)
+        if cur is None:
+            failures.append(f"{name}: tracked kernel missing from current report")
+            rows.append((name, base_ns, None, None, "MISSING"))
+            continue
+        cur_ns = cur.get("ns_per_op", 0.0)
+        if base_ns <= 0.0:
+            rows.append((name, base_ns, cur_ns, None, "SKIP (no baseline time)"))
+            continue
+        ratio = cur_ns / base_ns
+        verdict = "ok"
+        if ratio > args.threshold:
+            verdict = f"REGRESSION (> {args.threshold:.2f}x)"
+            failures.append(f"{name}: {base_ns:.1f} -> {cur_ns:.1f} ns/op ({ratio:.2f}x)")
+        rows.append((name, base_ns, cur_ns, ratio, verdict))
+
+    width = max((len(r[0]) for r in rows), default=10)
+    print(f"{'kernel':<{width}}  {'baseline':>12}  {'current':>12}  {'ratio':>6}  verdict")
+    for name, base_ns, cur_ns, ratio, verdict in rows:
+        cur_s = f"{cur_ns:12.1f}" if cur_ns is not None else f"{'-':>12}"
+        ratio_s = f"{ratio:6.2f}" if ratio is not None else f"{'-':>6}"
+        print(f"{name:<{width}}  {base_ns:12.1f}  {cur_s}  {ratio_s}  {verdict}")
+
+    untracked = sorted(set(current) - set(baseline))
+    if untracked:
+        print(f"\nuntracked kernels (not gated): {', '.join(untracked)}")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nall {sum(1 for r in rows if r[4] == 'ok')} tracked kernels within "
+          f"{args.threshold:.2f}x of baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,166 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace dqcsim {
+
+JsonValue::JsonValue(bool b) : type_(Type::Bool), bool_(b) {}
+JsonValue::JsonValue(double d) : type_(Type::Number), num_(d) {}
+JsonValue::JsonValue(std::int64_t i)
+    : type_(Type::Number), num_(static_cast<double>(i)), num_is_int_(true) {}
+JsonValue::JsonValue(const char* s) : type_(Type::String), str_(s) {}
+JsonValue::JsonValue(std::string s) : type_(Type::String), str_(std::move(s)) {}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.type_ = Type::Object;
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.type_ = Type::Array;
+  return v;
+}
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue v) {
+  DQCSIM_EXPECTS_MSG(type_ == Type::Object, "set() requires a JSON object");
+  for (auto& [k, existing] : obj_) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  obj_.emplace_back(key, std::move(v));
+  return *this;
+}
+
+JsonValue& JsonValue::push(JsonValue v) {
+  DQCSIM_EXPECTS_MSG(type_ == Type::Array, "push() requires a JSON array");
+  arr_.push_back(std::move(v));
+  return *this;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string format_number(double d, bool is_int) {
+  if (!std::isfinite(d)) return "null";  // JSON has no inf/nan
+  char buf[32];
+  if (is_int) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(d));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+  }
+  return buf;
+}
+
+}  // namespace
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+  const std::string pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent * (depth + 1)),
+                               ' ')
+                 : "";
+  const std::string close_pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent * depth), ' ')
+                 : "";
+  const char* nl = indent > 0 ? "\n" : "";
+  switch (type_) {
+    case Type::Null: out += "null"; break;
+    case Type::Bool: out += bool_ ? "true" : "false"; break;
+    case Type::Number: out += format_number(num_, num_is_int_); break;
+    case Type::String:
+      out += '"';
+      out += json_escape(str_);
+      out += '"';
+      break;
+    case Type::Array: {
+      if (arr_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      out += nl;
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        out += pad;
+        arr_[i].dump_to(out, indent, depth + 1);
+        if (i + 1 < arr_.size()) {
+          out += ',';
+          if (indent <= 0) out += ' ';
+        }
+        out += nl;
+      }
+      out += close_pad;
+      out += ']';
+      break;
+    }
+    case Type::Object: {
+      if (obj_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      out += nl;
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        out += pad;
+        out += '"';
+        out += json_escape(obj_[i].first);
+        out += "\": ";
+        obj_[i].second.dump_to(out, indent, depth + 1);
+        if (i + 1 < obj_.size()) {
+          out += ',';
+          if (indent <= 0) out += ' ';
+        }
+        out += nl;
+      }
+      out += close_pad;
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+void JsonValue::write_file(const std::string& path, int indent) const {
+  std::ofstream out(path);
+  if (!out) throw ConfigError("cannot open JSON output file: " + path);
+  out << dump(indent) << '\n';
+  if (!out) throw ConfigError("failed writing JSON output file: " + path);
+}
+
+}  // namespace dqcsim

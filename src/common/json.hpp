@@ -1,0 +1,64 @@
+/// \file json.hpp
+/// \brief Minimal JSON document builder for machine-readable outputs
+/// (benchmark reports, CI artifacts). Write-only by design: the repo's
+/// consumers of these files are external tools (CI scripts, plotting),
+/// so no parser is provided.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dqcsim {
+
+/// A JSON value: null, bool, number, string, array, or object. Object keys
+/// keep insertion order so emitted reports diff cleanly.
+class JsonValue {
+ public:
+  JsonValue() = default;  ///< null
+  JsonValue(bool b);
+  JsonValue(double d);
+  JsonValue(std::int64_t i);
+  JsonValue(int i) : JsonValue(static_cast<std::int64_t>(i)) {}
+  JsonValue(std::size_t u) : JsonValue(static_cast<double>(u)) {}
+  JsonValue(const char* s);
+  JsonValue(std::string s);
+
+  static JsonValue object();
+  static JsonValue array();
+
+  /// Object member access (creates the member; value types only).
+  /// Precondition: this is an object.
+  JsonValue& set(const std::string& key, JsonValue v);
+
+  /// Append to an array. Precondition: this is an array.
+  JsonValue& push(JsonValue v);
+
+  /// Serialize. `indent` > 0 pretty-prints with that many spaces.
+  /// Non-finite numbers serialize as null (JSON has no inf/nan).
+  std::string dump(int indent = 2) const;
+
+  /// Serialize to a file; throws ConfigError when the file cannot be
+  /// opened or written.
+  void write_file(const std::string& path, int indent = 2) const;
+
+ private:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  bool num_is_int_ = false;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+/// JSON string escaping (exposed for tests).
+std::string json_escape(const std::string& s);
+
+}  // namespace dqcsim

@@ -21,6 +21,7 @@
 
 #include "common/csv.hpp"
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -32,6 +33,7 @@
 #include "circuit/circuit.hpp"
 #include "circuit/commutation.hpp"
 #include "circuit/dag.hpp"
+#include "circuit/fusion.hpp"
 #include "circuit/gate.hpp"
 #include "circuit/interaction_graph.hpp"
 #include "circuit/qasm.hpp"

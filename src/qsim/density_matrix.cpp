@@ -56,27 +56,32 @@ Complex DensityMatrix::element(std::size_t r, std::size_t c) const {
 
 void DensityMatrix::apply_1q(const Mat2& u, int q) {
   DQCSIM_EXPECTS(q >= 0 && q < num_qubits_);
-  const std::size_t mask = std::size_t{1} << q;
-  // Left multiply by U (x) I.
-  for (std::size_t c = 0; c < dim_; ++c) {
-    for (std::size_t r = 0; r < dim_; ++r) {
-      if (r & mask) continue;
-      const std::size_t r1 = r | mask;
-      const Complex a = data_[idx(r, c)];
-      const Complex b = data_[idx(r1, c)];
-      data_[idx(r, c)] = u[0] * a + u[1] * b;
-      data_[idx(r1, c)] = u[2] * a + u[3] * b;
+  const std::size_t stride = std::size_t{1} << q;
+  // Left multiply by U (x) I: for each row pair walk both rows contiguously
+  // (the row-major layout makes the inner loop a pair of streaming sweeps).
+  for (std::size_t rb = 0; rb < dim_; rb += 2 * stride) {
+    for (std::size_t r = rb; r < rb + stride; ++r) {
+      Complex* const row0 = data_.data() + idx(r, 0);
+      Complex* const row1 = data_.data() + idx(r + stride, 0);
+      for (std::size_t c = 0; c < dim_; ++c) {
+        const Complex a = row0[c];
+        const Complex b = row1[c];
+        row0[c] = u[0] * a + u[1] * b;
+        row1[c] = u[2] * a + u[3] * b;
+      }
     }
   }
-  // Right multiply by U^dag.
+  // Right multiply by U^dag: column pairs live within each row, so the
+  // whole update streams one row at a time.
   for (std::size_t r = 0; r < dim_; ++r) {
-    for (std::size_t c = 0; c < dim_; ++c) {
-      if (c & mask) continue;
-      const std::size_t c1 = c | mask;
-      const Complex a = data_[idx(r, c)];
-      const Complex b = data_[idx(r, c1)];
-      data_[idx(r, c)] = a * std::conj(u[0]) + b * std::conj(u[1]);
-      data_[idx(r, c1)] = a * std::conj(u[2]) + b * std::conj(u[3]);
+    Complex* const row = data_.data() + idx(r, 0);
+    for (std::size_t cb = 0; cb < dim_; cb += 2 * stride) {
+      for (std::size_t c = cb; c < cb + stride; ++c) {
+        const Complex a = row[c];
+        const Complex b = row[c + stride];
+        row[c] = a * std::conj(u[0]) + b * std::conj(u[1]);
+        row[c + stride] = a * std::conj(u[2]) + b * std::conj(u[3]);
+      }
     }
   }
 }
@@ -87,41 +92,47 @@ void DensityMatrix::apply_2q(const Mat4& u, int q_high, int q_low) {
   DQCSIM_EXPECTS(q_high != q_low);
   const std::size_t mh = std::size_t{1} << q_high;
   const std::size_t ml = std::size_t{1} << q_low;
+  const std::size_t lo = mh < ml ? mh : ml;
+  const std::size_t hi = mh < ml ? ml : mh;
+  const std::size_t groups = dim_ >> 2;
 
-  const auto sub_index = [&](std::size_t base, int s) {
-    std::size_t i = base;
-    if (s & 2) i |= mh;
-    if (s & 1) i |= ml;
-    return i;
+  // Branch-free enumeration of index quadruples: expand a dense counter by
+  // inserting zero bits at both operand positions (lowest first).
+  const auto expand = [lo, hi](std::size_t k) {
+    return insert_zero_bit(insert_zero_bit(k, lo), hi);
   };
 
-  // Left multiply.
-  for (std::size_t c = 0; c < dim_; ++c) {
-    for (std::size_t r = 0; r < dim_; ++r) {
-      if ((r & mh) || (r & ml)) continue;
-      Complex old[4];
-      for (int s = 0; s < 4; ++s) old[s] = data_[idx(sub_index(r, s), c)];
-      for (int s = 0; s < 4; ++s) {
+  // Left multiply by U (x) I: each row quadruple streams over all columns.
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t r = expand(g);
+    Complex* const row[4] = {
+        data_.data() + idx(r, 0), data_.data() + idx(r | ml, 0),
+        data_.data() + idx(r | mh, 0), data_.data() + idx(r | mh | ml, 0)};
+    for (std::size_t c = 0; c < dim_; ++c) {
+      const Complex old[4] = {row[0][c], row[1][c], row[2][c], row[3][c]};
+      for (std::size_t s = 0; s < 4; ++s) {
         Complex acc{0.0, 0.0};
-        for (int t = 0; t < 4; ++t) {
-          acc += u[static_cast<std::size_t>(s * 4 + t)] * old[t];
+        for (std::size_t t = 0; t < 4; ++t) {
+          acc += u[s * 4 + t] * old[t];
         }
-        data_[idx(sub_index(r, s), c)] = acc;
+        row[s][c] = acc;
       }
     }
   }
-  // Right multiply by U^dag.
+  // Right multiply by U^dag: column quadruples live within each row.
   for (std::size_t r = 0; r < dim_; ++r) {
-    for (std::size_t c = 0; c < dim_; ++c) {
-      if ((c & mh) || (c & ml)) continue;
-      Complex old[4];
-      for (int s = 0; s < 4; ++s) old[s] = data_[idx(r, sub_index(c, s))];
-      for (int s = 0; s < 4; ++s) {
+    Complex* const row = data_.data() + idx(r, 0);
+    for (std::size_t g = 0; g < groups; ++g) {
+      const std::size_t c = expand(g);
+      const std::size_t col[4] = {c, c | ml, c | mh, c | mh | ml};
+      const Complex old[4] = {row[col[0]], row[col[1]], row[col[2]],
+                              row[col[3]]};
+      for (std::size_t s = 0; s < 4; ++s) {
         Complex acc{0.0, 0.0};
-        for (int t = 0; t < 4; ++t) {
-          acc += old[t] * std::conj(u[static_cast<std::size_t>(s * 4 + t)]);
+        for (std::size_t t = 0; t < 4; ++t) {
+          acc += old[t] * std::conj(u[s * 4 + t]);
         }
-        data_[idx(r, sub_index(c, s))] = acc;
+        row[col[s]] = acc;
       }
     }
   }

@@ -80,6 +80,14 @@ struct ArchConfig {
   /// Local-operation time of one purification round (CNOT + measurement on
   /// each side, in t_CNOT units); delays the purified gate's start.
   double purification_latency = 6.0;
+  /// Execute runs of consecutive one-qubit gates on a wire as a single
+  /// scheduling event with summed latency (see fusible_1q_chain_next).
+  /// The chain's completion instant, fidelity factors, and every observable
+  /// statistic are unchanged — only the discrete-event count shrinks — so
+  /// results are bit-identical with the toggle on or off. Applied to the
+  /// non-adaptive designs (the adaptive controller observes execution at
+  /// gate granularity and is left untouched).
+  bool fuse_local_gates = true;
 
   /// EPR pairs consumed per remote gate under the selected implementation
   /// (a *successful* purification round doubles the count again).

@@ -4,6 +4,7 @@
 #include <deque>
 #include <optional>
 
+#include "circuit/fusion.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "des/simulator.hpp"
@@ -50,6 +51,17 @@ struct ExecutionEngine::Impl {
   std::vector<char> admitted, started, completed_flag;
   std::size_t num_completed = 0;
   double makespan = 0.0;
+
+  // --- local 1q chain fusion (config.fuse_local_gates) ---------------------
+  // Runs of consecutive one-qubit gates on a wire execute as one event with
+  // summed latency. Chain members have no observers between them (a 1q
+  // gate's only successor is the next gate on its wire), so eliding the
+  // intermediate events leaves every completion instant, ledger factor and
+  // statistic bit-identical. Active only for non-adaptive designs: the
+  // adaptive controller samples buffer occupancy as segments start, and
+  // coarsening events would move those sampling instants.
+  bool fuse_chains = false;
+  std::vector<std::size_t> chain_next;  ///< kNoFusedNext-terminated chains
 
   // Remote gates waiting for pairs, FIFO by readiness. A gate needs
   // pairs_per_remote_gate() pairs; in the bufferless design they may be
@@ -247,14 +259,45 @@ struct ExecutionEngine::Impl {
     }
   }
 
+  static noise::FidelityTerm local_term_of(const Gate& gate) {
+    return (gate.arity() == 2) ? noise::FidelityTerm::Local2Q
+           : (gate.kind == GateKind::Measure)
+               ? noise::FidelityTerm::Measurement
+               : noise::FidelityTerm::Local1Q;
+  }
+
   void start_local_gate(std::size_t g) {
+    if (fuse_chains && circuit.gate(g).arity() == 1) {
+      start_local_chain(g);
+      return;
+    }
     const Gate& gate = circuit.gate(g);
-    const auto term = (gate.arity() == 2) ? noise::FidelityTerm::Local2Q
-                      : (gate.kind == GateKind::Measure)
-                          ? noise::FidelityTerm::Measurement
-                          : noise::FidelityTerm::Local1Q;
-    ledger.add_factor(term, gate_fidelity_local(gate));
+    ledger.add_factor(local_term_of(gate), gate_fidelity_local(gate));
     begin_execution(g, latency_of(gate, /*remote=*/false));
+  }
+
+  /// Start the maximal admitted 1q chain beginning at `g` as one event.
+  void start_local_chain(std::size_t head) {
+    // Left-fold the member latencies onto the clock exactly as sequential
+    // scheduling would (t -> t + l0 -> (t + l0) + l1 ...), so the chain's
+    // completion instant is bit-identical to the unfused execution.
+    des::SimTime end = sim.now();
+    std::size_t tail = head;
+    for (std::size_t g = head;; g = chain_next[g]) {
+      DQCSIM_ENSURES(!started[g]);
+      started[g] = 1;
+      const Gate& gate = circuit.gate(g);
+      ledger.add_factor(local_term_of(gate), gate_fidelity_local(gate));
+      end += latency_of(gate, /*remote=*/false);
+      tail = g;
+      if (chain_next[g] == kNoFusedNext || !admitted[chain_next[g]]) break;
+    }
+    sim.schedule_at(end, [this, head, tail] {
+      for (std::size_t g = head;; g = chain_next[g]) {
+        complete_gate(g);
+        if (g == tail) break;
+      }
+    });
   }
 
   /// Werner-decayed fidelities of collected pairs at the current instant,
@@ -334,7 +377,10 @@ struct ExecutionEngine::Impl {
     makespan = std::max(makespan, sim.now());
     for (std::size_t next : succs_of[g]) {
       DQCSIM_ENSURES(remaining_preds[next] > 0);
-      if (--remaining_preds[next] == 0) on_gate_ready(next);
+      // A chain-fused successor is already running; just settle the edge.
+      if (--remaining_preds[next] == 0 && !started[next]) {
+        on_gate_ready(next);
+      }
     }
   }
 
@@ -466,6 +512,10 @@ struct ExecutionEngine::Impl {
       admitting = false;
       pump_segments();
     } else {
+      if (config.fuse_local_gates) {
+        fuse_chains = true;
+        chain_next = fusible_1q_chain_next(circuit);
+      }
       // Single implicit segment: the whole circuit in program order.
       for (std::size_t g = 0; g < circuit.num_gates(); ++g) {
         admit_gate(g, 0);

@@ -2,14 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <set>
-#include <cmath>
 #include <sstream>
 
 #include "common/csv.hpp"
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -289,6 +291,53 @@ TEST(CsvWriter, RejectsWrongWidth) {
 
 TEST(CsvWriter, ThrowsOnUnopenablePath) {
   EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), ConfigError);
+}
+
+// ----------------------------------------------------------------- JSON ----
+
+TEST(Json, ScalarsAndNesting) {
+  JsonValue doc = JsonValue::object();
+  doc.set("name", "bench");
+  doc.set("version", 3);
+  doc.set("ratio", 1.5);
+  doc.set("ok", true);
+  doc.set("nothing", JsonValue{});
+  JsonValue arr = JsonValue::array();
+  arr.push(1).push(2.5).push("three");
+  doc.set("items", std::move(arr));
+  EXPECT_EQ(doc.dump(0),
+            "{\"name\": \"bench\", \"version\": 3, \"ratio\": 1.5, "
+            "\"ok\": true, \"nothing\": null, \"items\": [1, 2.5, "
+            "\"three\"]}");
+}
+
+TEST(Json, SetOverwritesExistingKeyInPlace) {
+  JsonValue doc = JsonValue::object();
+  doc.set("a", 1).set("b", 2).set("a", 3);
+  EXPECT_EQ(doc.dump(0), "{\"a\": 3, \"b\": 2}");
+}
+
+TEST(Json, EscapesStrings) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(json_escape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull) {
+  JsonValue doc = JsonValue::array();
+  doc.push(std::numeric_limits<double>::infinity());
+  doc.push(std::nan(""));
+  EXPECT_EQ(doc.dump(0), "[null, null]");
+}
+
+TEST(Json, RoundTripsDoublesExactly) {
+  JsonValue v(0.1 + 0.2);
+  EXPECT_EQ(std::stod(v.dump(0)), 0.1 + 0.2);
+}
+
+TEST(Json, WriteFileThrowsOnUnopenablePath) {
+  EXPECT_THROW(JsonValue::object().write_file("/nonexistent-dir/x.json"),
+               ConfigError);
 }
 
 // ---------------------------------------------------------------- errors ----

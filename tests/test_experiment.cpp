@@ -132,6 +132,31 @@ TEST(ExperimentDeterminism, RepeatedParallelRunsAgree) {
   expect_identical(first, second);
 }
 
+TEST(ExperimentDeterminism, FusedLocalGatesAreBitIdenticalToUnfused) {
+  // The engine's 1q-chain fusion (ArchConfig::fuse_local_gates) elides
+  // scheduling events but must leave every statistic bit-identical: chain
+  // members have no external observers between head start and tail
+  // completion, and the completion instant left-folds latencies exactly as
+  // sequential scheduling would. TLIM is the chain-rich workload (rz/rx
+  // runs per wire); QAOA and QFT cover the chain-free shapes.
+  for (const auto id : {gen::BenchmarkId::TLIM_32, gen::BenchmarkId::QAOA_R8_32,
+                        gen::BenchmarkId::QFT_32}) {
+    const Circuit qc = gen::make_benchmark(id);
+    const auto part = partition_circuit(qc, 2);
+    for (const DesignKind design : all_designs()) {
+      SCOPED_TRACE(gen::benchmark_name(id) + " / " + design_name(design));
+      ArchConfig fused, unfused;
+      fused.fuse_local_gates = true;
+      unfused.fuse_local_gates = false;
+      const AggregateResult a =
+          run_design(qc, part.assignment, fused, design, 6, 1000, 1);
+      const AggregateResult b =
+          run_design(qc, part.assignment, unfused, design, 6, 1000, 1);
+      expect_identical(a, b);
+    }
+  }
+}
+
 TEST(ExperimentDeterminism, DifferentBaseSeedsDiffer) {
   const Circuit qc = gen::make_benchmark(gen::BenchmarkId::QAOA_R8_32);
   const auto part = partition_circuit(qc, 2);
