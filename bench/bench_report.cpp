@@ -24,6 +24,13 @@ void BenchReport::write() const {
     k.set("items_per_s", r.items_per_s);
     k.set("iterations", r.iterations);
     k.set("label", r.label);
+    if (!r.counters.empty()) {
+      JsonValue counters = JsonValue::object();
+      for (const auto& [name, value] : r.counters) {
+        counters.set(name, value);
+      }
+      k.set("counters", std::move(counters));
+    }
     kernels.push(std::move(k));
   }
   JsonValue doc = JsonValue::object();

@@ -25,6 +25,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dqcsim::bench {
@@ -36,6 +37,9 @@ struct KernelResult {
   double items_per_s = 0.0;
   double iterations = 0.0;
   std::string label;
+  /// Extra named metrics (e.g. allocs_per_op); emitted as a JSON object
+  /// when non-empty.
+  std::vector<std::pair<std::string, double>> counters;
 };
 
 /// Accumulates kernel results and writes BENCH_<name>.json.

@@ -8,15 +8,74 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
 #include <string>
 #include <vector>
 
 #include "bench_report.hpp"
 #include "dqcsim.hpp"
 
+// ---------------------------------------------------------------------------
+// Global allocation counter: the steady-state benchmarks report
+// allocs-per-op to prove the DES pool and RunContext reuse keep the
+// Monte-Carlo hot path allocation-free (see ISSUE 3 / README "Performance").
+// Counting only — allocation behavior is unchanged.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+namespace {
+void* counted_aligned_alloc(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const auto alignment = static_cast<std::size_t>(align);
+  if (void* p = std::aligned_alloc(alignment,
+                                   (size + alignment - 1) / alignment *
+                                       alignment)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
 namespace {
 
 using namespace dqcsim;
+
+/// Allocations since `since` (relaxed; the benches are single-threaded).
+std::uint64_t allocs_since(std::uint64_t since) {
+  return g_alloc_count.load(std::memory_order_relaxed) - since;
+}
 
 /// The paper's 32-qubit benchmark families (TLIM / QAOA-r8 / QFT, Table I)
 /// rebuilt at a statevector-feasible width `n`: identical gate structure
@@ -42,6 +101,61 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventQueueScheduleAndPop);
+
+// Steady-state DES churn: one Simulator reused via reset(), the way the
+// Monte-Carlo trial loop drives it. After warmup the event pool, dispatch
+// window and spill list are at their high-water marks, so an iteration
+// (1000 schedules + 1000 dispatches) performs zero heap allocation —
+// reported as the allocs_per_op counter, asserted ~0 by the bench gate.
+void BM_EventQueueSteadyStateChurn(benchmark::State& state) {
+  des::Simulator sim;
+  for (int warm = 0; warm < 3; ++warm) {
+    sim.reset();
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(static_cast<double>((i * 7919) % 1000), [] {});
+    }
+    sim.run();
+  }
+  const std::uint64_t allocs0 = allocs_since(0);
+  for (auto _ : state) {
+    sim.reset();
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(static_cast<double>((i * 7919) % 1000), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(allocs_since(allocs0)) /
+      static_cast<double>(state.iterations() * 1000));
+}
+BENCHMARK(BM_EventQueueSteadyStateChurn);
+
+// Cancel-heavy DES workload (the purification-cutoff pattern): all events
+// are scheduled far in the future, every other one is cancelled before it
+// fires, and the survivors are drained. The old lazy-cancellation queue
+// accumulated one tombstone per cancel until the entry's timestamp
+// surfaced — unbounded growth on exactly this pattern; the pooled queue
+// releases the slot immediately and compacts the index.
+void BM_EventQueueScheduleCancelPop(benchmark::State& state) {
+  des::Simulator sim;
+  std::vector<des::EventId> ids(1000);
+  for (auto _ : state) {
+    sim.reset();
+    for (int i = 0; i < 1000; ++i) {
+      ids[static_cast<std::size_t>(i)] = sim.schedule_at(
+          static_cast<double>(1000000 + i), [] {});
+    }
+    for (int i = 0; i < 1000; i += 2) {
+      sim.cancel(ids[static_cast<std::size_t>(i)]);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleCancelPop);
 
 void BM_RngUniform(benchmark::State& state) {
   Rng rng(1);
@@ -108,6 +222,60 @@ void BM_EngineRunQaoaR8_32(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EngineRunQaoaR8_32);
+
+// Steady-state Monte-Carlo trial: one RunContext reused across trials, as
+// each run_design worker drives it. After the warmup trials every buffer is
+// at its high-water mark and the setup cache is hot, so a trial performs
+// zero heap allocation (the allocs_per_op counter).
+void BM_RunContextTrialSteadyState(benchmark::State& state) {
+  const Circuit qc = gen::make_benchmark(gen::BenchmarkId::QAOA_R8_32);
+  const auto part = runtime::partition_circuit(qc, 2);
+  const runtime::ArchConfig config;
+  noise::TeleportNoiseParams tele;
+  tele.local_2q_fidelity = config.fid.local_cnot;
+  tele.local_1q_fidelity = config.fid.one_qubit;
+  tele.readout_fidelity = config.fid.measurement;
+  const noise::TeleportFidelityModel model(tele);
+  runtime::RunContext ctx;
+  constexpr std::uint64_t kSeeds = 16;
+  for (std::uint64_t s = 0; s < kSeeds; ++s) {
+    ctx.execute(qc, part.assignment, config, runtime::DesignKind::AsyncBuf,
+                1000 + s, &model);
+  }
+  const std::uint64_t allocs0 = allocs_since(0);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const auto result =
+        ctx.execute(qc, part.assignment, config,
+                    runtime::DesignKind::AsyncBuf, 1000 + (seed++ % kSeeds),
+                    &model);
+    benchmark::DoNotOptimize(result.depth);
+  }
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(allocs_since(allocs0)) /
+      static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_RunContextTrialSteadyState);
+
+// End-to-end trial throughput of the experiment driver (one worker): the
+// number the fig5-fig8 sweeps and ablation benches are built from.
+void BM_RunDesignTrialThroughput(benchmark::State& state) {
+  const Circuit qc = gen::make_benchmark(gen::BenchmarkId::QAOA_R8_32);
+  const auto part = runtime::partition_circuit(qc, 2);
+  const runtime::ArchConfig config;
+  const int runs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto agg =
+        runtime::run_design(qc, part.assignment, config,
+                            runtime::DesignKind::AsyncBuf, runs,
+                            /*base_seed=*/1000, /*threads=*/1);
+    benchmark::DoNotOptimize(agg.depth.mean());
+  }
+  state.SetItemsProcessed(state.iterations() * runs);
+  state.SetLabel("trials/s");
+}
+BENCHMARK(BM_RunDesignTrialThroughput)->Arg(64)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 // Serial vs parallel Monte-Carlo experiment engine. Run both and compare
 // wall time per iteration: the parallel variant fans the same seeds across
@@ -278,6 +446,11 @@ class JsonExportReporter : public benchmark::ConsoleReporter {
       }
       const auto it = run.counters.find("items_per_second");
       if (it != run.counters.end()) k.items_per_s = it->second;
+      for (const auto& [counter_name, counter] : run.counters) {
+        if (counter_name == "items_per_second") continue;
+        k.counters.emplace_back(counter_name,
+                                static_cast<double>(counter.value));
+      }
       k.label = run.report_label;
       report_.add(std::move(k));
     }

@@ -8,6 +8,12 @@ are tracked, so adding new benchmarks never breaks the gate; a tracked
 kernel that disappears from the current report fails it (a silently dropped
 benchmark is itself a regression).
 
+Named counters recorded in the baseline (e.g. the allocs_per_op counter of
+the steady-state DES/RunContext benches) are gated too: a counter fails when
+it exceeds baseline * threshold + 0.01 (the absolute slack lets a zero
+baseline tolerate measurement jitter but not a real allocation sneaking back
+into the hot path).
+
 Usage:
     check_bench_regression.py CURRENT.json BASELINE.json [--threshold 1.25]
 
@@ -61,6 +67,19 @@ def main():
         if ratio > args.threshold:
             verdict = f"REGRESSION (> {args.threshold:.2f}x)"
             failures.append(f"{name}: {base_ns:.1f} -> {cur_ns:.1f} ns/op ({ratio:.2f}x)")
+        for counter, base_val in base.get("counters", {}).items():
+            cur_val = cur.get("counters", {}).get(counter)
+            if cur_val is None:
+                failures.append(f"{name}: tracked counter {counter} missing")
+                verdict = "COUNTER MISSING"
+                continue
+            limit = base_val * args.threshold + 0.01
+            if cur_val > limit:
+                failures.append(
+                    f"{name}: counter {counter} {base_val:.3g} -> {cur_val:.3g}"
+                    f" (limit {limit:.3g})"
+                )
+                verdict = f"COUNTER REGRESSION ({counter})"
         rows.append((name, base_ns, cur_ns, ratio, verdict))
 
     width = max((len(r[0]) for r in rows), default=10)

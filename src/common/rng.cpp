@@ -45,6 +45,10 @@ double Rng::uniform() noexcept {
   return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
 }
 
+void Rng::fill_uniform(double* out, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) out[i] = uniform();
+}
+
 double Rng::uniform(double lo, double hi) noexcept {
   return lo + (hi - lo) * uniform();
 }

@@ -34,6 +34,12 @@ class Rng {
   /// Uniform double in [0, 1).
   double uniform() noexcept;
 
+  /// Fill `out[0..n)` with uniform doubles in [0, 1), consuming the stream
+  /// exactly as n successive uniform() calls would. Batching the draws for
+  /// a known-size consumer (e.g. all purification rounds of one remote
+  /// gate) keeps the loop branch-free without perturbing replay.
+  void fill_uniform(double* out, std::size_t n) noexcept;
+
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi) noexcept;
 

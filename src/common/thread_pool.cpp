@@ -59,9 +59,14 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
+  parallel_for_workers(n, [&body](std::size_t, std::size_t i) { body(i); });
+}
+
+void ThreadPool::parallel_for_workers(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
   if (size() == 0 || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    for (std::size_t i = 0; i < n; ++i) body(0, i);
     return;
   }
 
@@ -70,12 +75,12 @@ void ThreadPool::parallel_for(std::size_t n,
   std::exception_ptr error;
   std::mutex error_mutex;
 
-  const auto drain = [&] {
+  const auto drain = [&](std::size_t worker) {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
-        body(i);
+        body(worker, i);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!failed.exchange(true)) error = std::current_exception();
@@ -83,8 +88,13 @@ void ThreadPool::parallel_for(std::size_t n,
     }
   };
 
+  // One draining task per worker id; a task may migrate to whichever pool
+  // thread picks it up, but two tasks never share an id, so id-keyed
+  // workspaces are race-free.
   const std::size_t tasks = std::min(size(), n);
-  for (std::size_t t = 0; t < tasks; ++t) submit(drain);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    submit([&drain, t] { drain(t); });
+  }
   wait_idle();
 
   if (failed.load()) std::rethrow_exception(error);
@@ -97,14 +107,27 @@ std::size_t ThreadPool::hardware_threads() noexcept {
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   std::size_t num_threads) {
+  parallel_for_workers(
+      n, [&body](std::size_t, std::size_t i) { body(i); }, num_threads);
+}
+
+std::size_t parallel_worker_count(std::size_t n,
+                                  std::size_t num_threads) noexcept {
   if (num_threads == 0) num_threads = ThreadPool::hardware_threads();
   num_threads = std::min(num_threads, n);
-  if (num_threads <= 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+  return num_threads <= 1 ? 1 : num_threads;
+}
+
+void parallel_for_workers(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t num_threads) {
+  const std::size_t workers = parallel_worker_count(n, num_threads);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(0, i);
     return;
   }
-  ThreadPool pool(num_threads);
-  pool.parallel_for(n, body);
+  ThreadPool pool(workers);
+  pool.parallel_for_workers(n, body);
 }
 
 }  // namespace dqcsim

@@ -49,6 +49,15 @@ class ThreadPool {
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t)>& body);
 
+  /// As parallel_for, but body receives (worker, i) where worker is a dense
+  /// id in [0, min(size(), n)) identifying the draining task: calls with
+  /// the same worker id never run concurrently, so each worker can own a
+  /// reusable workspace (e.g. a runtime::RunContext). The serial fallback
+  /// uses worker 0.
+  void parallel_for_workers(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t)>& body);
+
   /// std::thread::hardware_concurrency(), but never 0.
   static std::size_t hardware_threads() noexcept;
 
@@ -70,5 +79,17 @@ class ThreadPool {
 /// no threading cost at all.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   std::size_t num_threads = 0);
+
+/// Number of distinct worker ids parallel_for_workers(n, body, num_threads)
+/// will use — size a per-worker workspace array with this before the call.
+std::size_t parallel_worker_count(std::size_t n,
+                                  std::size_t num_threads = 0) noexcept;
+
+/// Worker-id variant of the transient-pool parallel_for: body receives
+/// (worker, i) with worker in [0, parallel_worker_count(n, num_threads)).
+/// Calls sharing a worker id never run concurrently.
+void parallel_for_workers(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t num_threads = 0);
 
 }  // namespace dqcsim

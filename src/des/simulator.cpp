@@ -1,27 +1,18 @@
 #include "des/simulator.hpp"
 
-#include <utility>
-
 #include "common/error.hpp"
 
 namespace dqcsim::des {
 
-EventId Simulator::schedule_at(SimTime t, std::function<void()> action) {
-  DQCSIM_EXPECTS_MSG(t >= now_, "cannot schedule an event in the past");
-  return queue_.schedule(t, std::move(action));
-}
-
-EventId Simulator::schedule_in(SimTime delay, std::function<void()> action) {
-  DQCSIM_EXPECTS_MSG(delay >= 0.0, "delay must be nonnegative");
-  return queue_.schedule(now_ + delay, std::move(action));
-}
-
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  auto [time, action] = queue_.pop();
-  now_ = time;
-  ++executed_;
-  action();
+  // The clock advances between event extraction and callback dispatch, so
+  // the callback observes now() == its own timestamp (same contract as the
+  // previous pop-then-run design) without a separate next_time() pass.
+  queue_.dispatch_next([this](SimTime t) {
+    now_ = t;
+    ++executed_;
+  });
   return true;
 }
 

@@ -7,8 +7,9 @@
 
 #pragma once
 
-#include <functional>
+#include <utility>
 
+#include "common/error.hpp"
 #include "des/event_queue.hpp"
 
 namespace dqcsim::des {
@@ -16,19 +17,30 @@ namespace dqcsim::des {
 /// Event-driven simulation engine with an absolute clock.
 ///
 /// Time never flows backwards: scheduling an event before `now()` throws.
+/// Scheduling is allocation-free in steady state (see EventQueue); a
+/// Simulator is designed to be reset() and reused across Monte-Carlo trials
+/// so its event pool is warm from the second trial on.
 class Simulator {
  public:
   /// Current simulation time.
   SimTime now() const noexcept { return now_; }
 
   /// Schedule `action` at absolute time `t`. Precondition: t >= now().
-  EventId schedule_at(SimTime t, std::function<void()> action);
+  template <typename F>
+  EventId schedule_at(SimTime t, F&& action) {
+    DQCSIM_EXPECTS_MSG(t >= now_, "cannot schedule an event in the past");
+    return queue_.schedule(t, std::forward<F>(action));
+  }
 
   /// Schedule `action` after a nonnegative delay relative to now().
-  EventId schedule_in(SimTime delay, std::function<void()> action);
+  template <typename F>
+  EventId schedule_in(SimTime delay, F&& action) {
+    DQCSIM_EXPECTS_MSG(delay >= 0.0, "delay must be nonnegative");
+    return queue_.schedule(now_ + delay, std::forward<F>(action));
+  }
 
   /// Cancel a pending event; no-op if already fired. Returns true if pending.
-  bool cancel(EventId id) { return queue_.cancel(id); }
+  bool cancel(EventId id) noexcept { return queue_.cancel(id); }
 
   /// Execute the single earliest pending event. Returns false if none.
   bool step();
@@ -47,8 +59,22 @@ class Simulator {
   /// Number of pending events.
   std::size_t pending_events() const noexcept { return queue_.size(); }
 
-  /// Total number of events executed since construction.
+  /// Total number of events executed since construction (or last reset()).
   std::size_t executed_events() const noexcept { return executed_; }
+
+  /// Drop all pending events and rewind the clock to 0, retaining the event
+  /// pool's capacity. Must not be called from inside an event callback.
+  void reset() noexcept {
+    queue_.reset();
+    now_ = 0.0;
+    executed_ = 0;
+  }
+
+  /// The underlying queue (introspection for tests and benchmarks).
+  const EventQueue& queue() const noexcept { return queue_; }
+
+  /// Pre-grow the event pool (see EventQueue::reserve).
+  void reserve_events(std::size_t events) { queue_.reserve(events); }
 
   static constexpr std::size_t kNoEventLimit = ~std::size_t{0};
 

@@ -5,54 +5,70 @@
 
 namespace dqcsim::ent {
 
-BufferPool::BufferPool(int capacity, double f0, double kappa, double cutoff)
-    : capacity_(static_cast<std::size_t>(capacity)),
-      f0_(f0),
-      kappa_(kappa),
-      cutoff_(cutoff) {
+BufferPool::BufferPool(int capacity, double f0, double kappa, double cutoff) {
+  configure(capacity, f0, kappa, cutoff);
+}
+
+void BufferPool::configure(int capacity, double f0, double kappa,
+                           double cutoff) {
   DQCSIM_EXPECTS(capacity >= 0);
   DQCSIM_EXPECTS(f0 >= 0.25 && f0 <= 1.0);
   DQCSIM_EXPECTS(kappa >= 0.0);
   DQCSIM_EXPECTS(cutoff > 0.0);
+  capacity_ = static_cast<std::size_t>(capacity);
+  f0_ = f0;
+  kappa_ = kappa;
+  cutoff_ = cutoff;
+  if (ring_.size() != capacity_) ring_.resize(capacity_);
+  head_ = 0;
+  count_ = 0;
+  deposited_ = consumed_ = expired_ = rejected_ = 0;
 }
 
 void BufferPool::expire_until(des::SimTime now) {
-  while (!pairs_.empty() && now - pairs_.front().deposited > cutoff_) {
-    pairs_.pop_front();
+  while (count_ > 0 && now - ring_[head_].deposited > cutoff_) {
+    head_ = next(head_);
+    --count_;
     ++expired_;
   }
 }
 
 std::size_t BufferPool::size(des::SimTime now) {
   expire_until(now);
-  return pairs_.size();
+  return count_;
 }
 
 bool BufferPool::deposit(des::SimTime now) {
   expire_until(now);
-  if (pairs_.size() >= capacity_) {
+  if (count_ >= capacity_) {
     ++rejected_;
     return false;
   }
-  pairs_.push_back(BufferedPair{now});
+  std::size_t tail = head_ + count_;
+  if (tail >= capacity_) tail -= capacity_;
+  ring_[tail] = BufferedPair{now};
+  ++count_;
   ++deposited_;
   return true;
 }
 
 std::optional<BufferedPair> BufferPool::pop_oldest(des::SimTime now) {
   expire_until(now);
-  if (pairs_.empty()) return std::nullopt;
-  BufferedPair pair = pairs_.front();
-  pairs_.pop_front();
+  if (count_ == 0) return std::nullopt;
+  const BufferedPair pair = ring_[head_];
+  head_ = next(head_);
+  --count_;
   ++consumed_;
   return pair;
 }
 
 std::optional<BufferedPair> BufferPool::pop_freshest(des::SimTime now) {
   expire_until(now);
-  if (pairs_.empty()) return std::nullopt;
-  BufferedPair pair = pairs_.back();
-  pairs_.pop_back();
+  if (count_ == 0) return std::nullopt;
+  std::size_t tail = head_ + count_ - 1;
+  if (tail >= capacity_) tail -= capacity_;
+  const BufferedPair pair = ring_[tail];
+  --count_;
   ++consumed_;
   return pair;
 }

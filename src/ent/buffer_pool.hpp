@@ -6,14 +6,18 @@
 /// carry their deposit timestamp; their fidelity at consumption follows the
 /// Werner decay law. A cut-off policy (paper §III-C) discards pairs stored
 /// longer than a threshold to bound decoherence of the entangled states.
+///
+/// Storage is a fixed-capacity ring buffer sized at configure() time, so
+/// deposit/pop/expire perform no heap allocation — the pool is part of the
+/// reusable per-trial RunContext workspace.
 
 #pragma once
 
 #include <cstddef>
-#include <deque>
 #include <optional>
+#include <vector>
 
-#include "des/event_queue.hpp"
+#include "des/event_pool.hpp"
 
 namespace dqcsim::ent {
 
@@ -43,13 +47,18 @@ class BufferPool {
   /// \param cutoff     max storage duration before the pair is discarded
   BufferPool(int capacity, double f0, double kappa, double cutoff);
 
+  /// Re-parameterize and empty the pool, zeroing all lifetime counters.
+  /// The ring storage is reallocated only when the capacity changes, so a
+  /// same-configuration reset (the Monte-Carlo trial loop) is free.
+  void configure(int capacity, double f0, double kappa, double cutoff);
+
   std::size_t capacity() const noexcept { return capacity_; }
 
   /// Pairs currently stored, after expiring per the cutoff at time `now`.
   std::size_t size(des::SimTime now);
 
   /// Pairs stored ignoring the cutoff (cheap, const).
-  std::size_t raw_size() const noexcept { return pairs_.size(); }
+  std::size_t raw_size() const noexcept { return count_; }
 
   bool full(des::SimTime now) { return size(now) >= capacity_; }
   bool empty(des::SimTime now) { return size(now) == 0; }
@@ -81,11 +90,17 @@ class BufferPool {
  private:
   void expire_until(des::SimTime now);
 
-  std::size_t capacity_;
-  double f0_;
-  double kappa_;
-  double cutoff_;
-  std::deque<BufferedPair> pairs_;
+  std::size_t next(std::size_t i) const noexcept {
+    return i + 1 == capacity_ ? 0 : i + 1;
+  }
+
+  std::size_t capacity_ = 0;
+  double f0_ = 0.99;
+  double kappa_ = 0.0;
+  double cutoff_ = 1.0;
+  std::vector<BufferedPair> ring_;  ///< size == capacity_
+  std::size_t head_ = 0;            ///< index of the oldest pair
+  std::size_t count_ = 0;           ///< pairs currently stored
   std::size_t deposited_ = 0;
   std::size_t consumed_ = 0;
   std::size_t expired_ = 0;

@@ -18,6 +18,26 @@ GenerationService::GenerationService(des::Simulator& sim,
   params_.validate();
 }
 
+void GenerationService::reset(const LinkParams& params, ServiceMode mode) {
+  params_ = params;
+  params_.validate();
+  mode_ = mode;
+  // Invalidate any attempt/deposit events still scheduled on the simulator
+  // from the previous run (harmless when the caller resets the simulator
+  // too, as the trial loop does).
+  ++epoch_;
+  buffer_.configure(params.buffer_capacity, params.f0, params.kappa,
+                    params.cutoff);
+  trace_.clear();
+  handler_ = nullptr;
+  started_ = false;
+  running_ = false;
+  attempts_ = 0;
+  successes_ = 0;
+  wasted_buffer_full_ = 0;
+  wasted_unconsumed_ = 0;
+}
+
 double GenerationService::offset_of(int pair_index) const {
   DQCSIM_EXPECTS(pair_index >= 0 && pair_index < params_.num_comm_pairs);
   if (params_.schedule == AttemptSchedule::Synchronous) return 0.0;
@@ -55,8 +75,9 @@ void GenerationService::pre_fill_buffer() {
 
 void GenerationService::schedule_completion(int pair_index,
                                             des::SimTime completion) {
-  sim_.schedule_at(completion,
-                   [this, pair_index] { on_window_complete(pair_index); });
+  sim_.schedule_at(completion, [this, pair_index, epoch = epoch_] {
+    if (epoch == epoch_) on_window_complete(pair_index);
+  });
 }
 
 void GenerationService::on_window_complete(int pair_index) {
@@ -68,7 +89,8 @@ void GenerationService::on_window_complete(int pair_index) {
     ++successes_;
     if (mode_ == ServiceMode::Buffered) {
       // SWAP into the buffer; availability is delayed by the SWAP latency.
-      sim_.schedule_in(params_.swap_latency, [this] {
+      sim_.schedule_in(params_.swap_latency, [this, epoch = epoch_] {
+        if (epoch != epoch_) return;
         const des::SimTime at = sim_.now();
         if (buffer_.deposit(at)) {
           trace_.record(at);

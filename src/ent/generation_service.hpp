@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 #include "common/rng.hpp"
@@ -49,6 +50,12 @@ class GenerationService {
   /// must outlive the service. `params` is validated on construction.
   GenerationService(des::Simulator& sim, const LinkParams& params, Rng& rng,
                     ServiceMode mode);
+
+  /// Return the service to its just-constructed state with (possibly new)
+  /// parameters: not started, empty buffer, cleared trace and counters, no
+  /// arrival handler. Storage capacity is retained, so a same-configuration
+  /// reset (the Monte-Carlo trial loop) performs no allocation.
+  void reset(const LinkParams& params, ServiceMode mode);
 
   /// Begin attempting: the first window of pair p completes at
   /// offset(p) + cycle_time. Idempotent once started.
@@ -99,6 +106,9 @@ class GenerationService {
   ArrivalHandler handler_;
   bool started_ = false;
   bool running_ = false;
+  /// Bumped by reset(): events scheduled before a reset carry the old
+  /// epoch and are ignored if the caller did not also reset the simulator.
+  std::uint64_t epoch_ = 0;
   std::size_t attempts_ = 0;
   std::size_t successes_ = 0;
   std::size_t wasted_buffer_full_ = 0;

@@ -10,7 +10,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "des/event_queue.hpp"
+#include "des/event_pool.hpp"
 
 namespace dqcsim::ent {
 
@@ -19,6 +19,9 @@ class ArrivalTrace {
  public:
   /// Record one pair arrival.
   void record(des::SimTime t);
+
+  /// Forget all recorded arrivals, retaining storage capacity.
+  void clear() noexcept { arrivals_.clear(); }
 
   std::size_t count() const noexcept { return arrivals_.size(); }
   const std::vector<des::SimTime>& arrivals() const noexcept {

@@ -1,7 +1,8 @@
 #include "runtime/engine.hpp"
 
 #include <algorithm>
-#include <deque>
+#include <array>
+#include <cstring>
 #include <optional>
 
 #include "circuit/fusion.hpp"
@@ -19,40 +20,92 @@
 
 namespace dqcsim::runtime {
 
-struct ExecutionEngine::Impl {
-  // --- construction-time state ------------------------------------------
-  const Circuit& circuit;
-  std::vector<int> assignment;
-  ArchConfig config;
-  DesignKind design;
-  Rng rng;
-  sched::GatePlacement placement;
+namespace {
 
+/// Cheap content hash guarding the setup cache against a different circuit
+/// materializing at a recycled address.
+std::uint64_t circuit_fingerprint(const Circuit& c) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(static_cast<std::uint64_t>(c.num_qubits()));
+  mix(c.num_gates());
+  for (std::size_t i = 0; i < c.num_gates(); ++i) {
+    const Gate& g = c.gate(i);
+    mix(static_cast<std::uint64_t>(g.kind));
+    mix((static_cast<std::uint64_t>(static_cast<std::uint32_t>(g.qubits[0]))
+         << 32) |
+        static_cast<std::uint32_t>(g.qubits[1]));
+    std::uint64_t param_bits;
+    std::memcpy(&param_bits, &g.param, sizeof param_bits);
+    mix(param_bits);
+  }
+  return h;
+}
+
+bool same_fidelities(const Fidelities& a, const Fidelities& b) {
+  return a.one_qubit == b.one_qubit && a.local_cnot == b.local_cnot &&
+         a.measurement == b.measurement && a.epr_f0 == b.epr_f0;
+}
+
+void validate_inputs(const Circuit& circuit, const std::vector<int>& assignment,
+                     const ArchConfig& config, DesignKind design) {
+  config.validate();
+  if (design != DesignKind::IdealMono) {
+    DQCSIM_EXPECTS_MSG(
+        assignment.size() == static_cast<std::size_t>(circuit.num_qubits()),
+        "partition assignment must cover every qubit");
+    for (int node : assignment) {
+      DQCSIM_EXPECTS_MSG(node >= 0 && node < config.num_nodes,
+                         "node id outside [0, num_nodes)");
+    }
+  }
+}
+
+}  // namespace
+
+struct RunContext::State {
+  static constexpr std::size_t kNone = ~std::size_t{0};
+  /// Capacity of the inline pair-birth store: 2 pairs (state teleport)
+  /// doubled by purify-on-consume is the structural maximum.
+  static constexpr std::size_t kMaxPairsPerGate = 4;
+
+  // --- persistent workspace (reused across trials) --------------------------
   des::Simulator sim;
+  Rng rng{0};
 
-  std::optional<noise::TeleportFidelityModel> owned_model;
+  // --- current-trial inputs -------------------------------------------------
+  const Circuit* circuit = nullptr;
+  ArchConfig config;
+  DesignKind design = DesignKind::AsyncBuf;
   const noise::TeleportFidelityModel* teleport_model = nullptr;
-  std::optional<noise::StateTeleportCnotModel> state_model;
 
-  // --- adaptive scheduling state ------------------------------------------
+  // --- cached setup (rebuilt only when the key changes) ---------------------
+  struct SetupKey {
+    bool valid = false;
+    const Circuit* circuit = nullptr;
+    std::uint64_t fingerprint = 0;
+    std::vector<int> assignment;
+    DesignKind design = DesignKind::AsyncBuf;
+    int num_nodes = 0;
+    std::size_t effective_segment_size = 0;
+    bool fuse_local_gates = false;
+    RemoteImpl remote_impl = RemoteImpl::GateTeleport;
+    Fidelities fid;
+  } key;
+
+  sched::GatePlacement placement;
   std::vector<sched::Segment> segments;
   std::unique_ptr<sched::SegmentVariantTable> variant_table;
-  std::unique_ptr<sched::AdaptivePolicy> adaptive_policy;
-  std::size_t next_segment = 0;  ///< index of the next segment to admit
-  bool admitting = false;        ///< re-entrancy guard for pump_segments
-  std::vector<std::size_t> segment_of_gate;   // valid once admitted
-  std::vector<std::size_t> unstarted_in_segment;
+  std::optional<sched::AdaptivePolicy> adaptive_policy;
+  std::vector<std::size_t> chain_next;  ///< kNoFusedNext-terminated chains
+  std::optional<noise::TeleportFidelityModel> owned_model;
+  std::optional<noise::StateTeleportCnotModel> state_model;
+  bool use_adaptive = false;
 
-  // --- per-gate scheduling state -------------------------------------------
-  static constexpr std::size_t kNone = ~std::size_t{0};
-  std::vector<std::size_t> last_on_wire;      // per qubit, kNone if none
-  std::vector<std::size_t> remaining_preds;
-  std::vector<std::vector<std::size_t>> succs_of;
-  std::vector<char> admitted, started, completed_flag;
-  std::size_t num_completed = 0;
-  double makespan = 0.0;
-
-  // --- local 1q chain fusion (config.fuse_local_gates) ---------------------
+  // --- local 1q chain fusion (config.fuse_local_gates) ----------------------
   // Runs of consecutive one-qubit gates on a wire execute as one event with
   // summed latency. Chain members have no observers between them (a 1q
   // gate's only successor is the next gate on its wire), so eliding the
@@ -61,31 +114,261 @@ struct ExecutionEngine::Impl {
   // adaptive controller samples buffer occupancy as segments start, and
   // coarsening events would move those sampling instants.
   bool fuse_chains = false;
-  std::vector<std::size_t> chain_next;  ///< kNoFusedNext-terminated chains
 
   // Remote gates waiting for pairs, FIFO by readiness. A gate needs
   // pairs_per_remote_gate() pairs; in the bufferless design they may be
   // collected across heralding instants (held on communication qubits,
   // decaying under the same Werner law).
   struct PendingRemote {
-    std::size_t gate;
-    des::SimTime ready_at;
-    std::vector<des::SimTime> pair_births;
+    std::size_t gate = 0;
+    des::SimTime ready_at = 0.0;
+    std::array<des::SimTime, kMaxPairsPerGate> births{};
+    std::uint32_t num_births = 0;
+  };
+
+  /// Head-indexed FIFO that recycles its storage once drained, so the
+  /// steady-state trial loop never reallocates.
+  struct PendingFifo {
+    std::vector<PendingRemote> items;
+    std::size_t head = 0;
+
+    bool empty() const noexcept { return head == items.size(); }
+    PendingRemote& front() noexcept { return items[head]; }
+    void push_back(const PendingRemote& req) { items.push_back(req); }
+    void pop_front() noexcept {
+      ++head;
+      if (head == items.size()) {
+        clear();
+      } else if (head >= 64 && 2 * head >= items.size()) {
+        // Reclaim the consumed prefix (trivially-copyable shift, no
+        // allocation) so a never-draining queue stays O(live depth),
+        // amortized O(1) per pop.
+        items.erase(items.begin(),
+                    items.begin() + static_cast<std::ptrdiff_t>(head));
+        head = 0;
+      }
+    }
+    void clear() noexcept {
+      items.clear();
+      head = 0;
+    }
   };
 
   // One entanglement link per node pair that carries remote gates
   // (all-to-all interconnect; links without traffic are not instantiated).
+  // Services persist across trials and are reset() per trial.
   struct LinkState {
     std::unique_ptr<ent::GenerationService> service;
-    std::deque<PendingRemote> pending;
+    PendingFifo pending;
   };
   std::vector<LinkState> links;
   std::vector<int> link_of_pair;  // [a * num_nodes + b] -> index or -1
 
+  // --- adaptive scheduling state (per trial) --------------------------------
+  std::size_t next_segment = 0;  ///< index of the next segment to admit
+  bool admitting = false;        ///< re-entrancy guard for pump_segments
+  std::vector<std::size_t> segment_of_gate;   // valid once admitted
+  std::vector<std::size_t> unstarted_in_segment;
+
+  // --- per-gate scheduling state (per trial) --------------------------------
+  /// Flat successor store: a gate has at most one successor per wire, so
+  /// two slots cover every case without per-gate vectors.
+  struct GateSuccs {
+    std::size_t s[2];
+    std::uint8_t n = 0;
+  };
+  std::vector<std::size_t> last_on_wire;      // per qubit, kNone if none
+  std::vector<std::size_t> remaining_preds;
+  std::vector<GateSuccs> succs_of;
+  std::vector<char> admitted, started, completed_flag;
+  std::size_t num_completed = 0;
+  double makespan = 0.0;
+
+  // --- reusable scratch (hoisted per-event temporaries) ---------------------
+  std::vector<double> scratch_raw;      ///< decayed pair fidelities
+  std::vector<double> scratch_logical;  ///< post-purification fidelities
+  std::vector<noise::PurificationOutcome> scratch_outcomes;
+  std::vector<double> scratch_uniforms;
+
+  // --- metrics (per trial) --------------------------------------------------
+  noise::FidelityLedger ledger;
+  RunResult result;
+  Accumulator pair_age_acc;
+  Accumulator remote_wait_acc;
+
+  // --- setup / reuse --------------------------------------------------------
+
+  /// Setup-key equality for everything except circuit identity (which the
+  /// caller resolves via pointer or fingerprint).
+  bool setup_fields_match(const std::vector<int>& assignment,
+                          const ArchConfig& cfg, DesignKind d) const {
+    return key.valid && key.design == d && key.num_nodes == cfg.num_nodes &&
+           key.effective_segment_size == cfg.effective_segment_size() &&
+           key.fuse_local_gates == cfg.fuse_local_gates &&
+           key.remote_impl == cfg.remote_impl &&
+           same_fidelities(key.fid, cfg.fid) && key.assignment == assignment;
+  }
+
+  /// Recompute every circuit/assignment/design-derived artifact. Called
+  /// only when the setup key changes; consecutive trials of one sweep cell
+  /// reuse everything built here.
+  void rebuild_setup(const Circuit& c, const std::vector<int>& assignment,
+                     const ArchConfig& cfg, DesignKind d,
+                     std::uint64_t fingerprint) {
+    key.valid = false;
+    owned_model.reset();
+    state_model.reset();
+
+    if (d != DesignKind::IdealMono) {
+      sched::classify_gates(c, assignment, placement);
+    } else {
+      placement.is_remote.assign(c.num_gates(), 0);
+      placement.num_remote_2q = 0;
+      placement.num_local_2q = 0;
+      placement.num_1q = 0;
+      placement.num_measure = 0;
+    }
+
+    const bool needs_link =
+        d != DesignKind::IdealMono && placement.num_remote_2q > 0;
+    use_adaptive = design_uses_adaptive(d) && needs_link;
+    fuse_chains = !use_adaptive && cfg.fuse_local_gates;
+    if (fuse_chains) {
+      chain_next = fusible_1q_chain_next(c);
+    } else {
+      chain_next.clear();
+    }
+
+    if (use_adaptive) {
+      segments = sched::segment_by_remote_gates(
+          placement, cfg.effective_segment_size());
+      variant_table = std::make_unique<sched::SegmentVariantTable>(
+          c, placement, segments);
+      adaptive_policy.emplace(cfg.effective_segment_size());
+    } else {
+      segments.clear();
+      variant_table.reset();
+      adaptive_policy.reset();
+    }
+
+    // Link topology: one generation service per node pair with remote
+    // traffic, instantiated in first-traffic order (the order events are
+    // later scheduled in, which the FIFO tie-break observes).
+    links.clear();
+    link_of_pair.clear();
+    if (needs_link) {
+      const auto n = static_cast<std::size_t>(cfg.num_nodes);
+      link_of_pair.assign(n * n, -1);
+      const auto link_params = cfg.link_params(d);
+      const auto mode = design_uses_buffer(d) ? ent::ServiceMode::Buffered
+                                              : ent::ServiceMode::OnDemand;
+      for (std::size_t g = 0; g < c.num_gates(); ++g) {
+        if (!placement.is_remote[g]) continue;
+        const Gate& gate = c.gate(g);
+        const auto a = static_cast<std::size_t>(
+            assignment[static_cast<std::size_t>(gate.q0())]);
+        const auto b = static_cast<std::size_t>(
+            assignment[static_cast<std::size_t>(gate.q1())]);
+        if (link_of_pair[a * n + b] >= 0) continue;
+        const int idx = static_cast<int>(links.size());
+        link_of_pair[a * n + b] = idx;
+        link_of_pair[b * n + a] = idx;
+        links.push_back(LinkState{
+            std::make_unique<ent::GenerationService>(sim, link_params, rng,
+                                                     mode),
+            {}});
+      }
+    }
+
+    key.circuit = &c;
+    key.fingerprint = fingerprint;
+    key.assignment = assignment;
+    key.design = d;
+    key.num_nodes = cfg.num_nodes;
+    key.effective_segment_size = cfg.effective_segment_size();
+    key.fuse_local_gates = cfg.fuse_local_gates;
+    key.remote_impl = cfg.remote_impl;
+    key.fid = cfg.fid;
+    key.valid = true;
+  }
+
+  /// Point the workspace at one trial's inputs: reseed, rewind the
+  /// simulator, and re-zero all per-trial state. Reuses every buffer.
+  void prepare(const Circuit& c, const std::vector<int>& assignment,
+               const ArchConfig& cfg, DesignKind d, std::uint64_t seed,
+               const noise::TeleportFidelityModel* model) {
+    validate_inputs(c, assignment, cfg, d);
+    DQCSIM_ENSURES(static_cast<std::size_t>(cfg.pairs_per_remote_gate()) <=
+                   kMaxPairsPerGate);
+
+    circuit = &c;
+    config = cfg;
+    design = d;
+    rng = Rng(seed);
+    sim.reset();
+
+    // Cache-hit resolution: the same Circuit object hits on pointer
+    // identity alone, keeping the per-trial cost O(1) (a circuit must not
+    // be mutated in place between execute() calls). A *different* address
+    // — including a new circuit recycled at the old address — hits only if
+    // its content fingerprint matches the cached one; the fingerprint
+    // covers gate count and width, so a shape change always rebuilds.
+    bool setup_hit = false;
+    if (setup_fields_match(assignment, cfg, d)) {
+      if (key.circuit == &c) {
+        setup_hit = true;
+      } else if (circuit_fingerprint(c) == key.fingerprint) {
+        setup_hit = true;
+        key.circuit = &c;
+      }
+    }
+    if (!setup_hit) {
+      rebuild_setup(c, assignment, cfg, d, circuit_fingerprint(c));
+    }
+
+    noise::TeleportNoiseParams tele;
+    tele.local_2q_fidelity = config.fid.local_cnot;
+    tele.local_1q_fidelity = config.fid.one_qubit;
+    tele.readout_fidelity = config.fid.measurement;
+    teleport_model = nullptr;
+    if (config.remote_impl == RemoteImpl::GateTeleport) {
+      if (model != nullptr) {
+        teleport_model = model;
+      } else if (placement.num_remote_2q > 0) {
+        if (!owned_model) owned_model.emplace(tele);
+        teleport_model = &*owned_model;
+      }
+    } else if (placement.num_remote_2q > 0) {
+      if (!state_model) state_model.emplace(tele);
+    }
+
+    const std::size_t n = c.num_gates();
+    last_on_wire.assign(static_cast<std::size_t>(c.num_qubits()), kNone);
+    remaining_preds.assign(n, 0);
+    succs_of.assign(n, GateSuccs{});
+    admitted.assign(n, 0);
+    started.assign(n, 0);
+    completed_flag.assign(n, 0);
+    segment_of_gate.assign(n, 0);
+    unstarted_in_segment.assign(segments.size(), 0);
+    next_segment = 0;
+    admitting = false;
+    num_completed = 0;
+    makespan = 0.0;
+    for (auto& link : links) link.pending.clear();
+
+    ledger = noise::FidelityLedger{};
+    result = RunResult{};
+    pair_age_acc = Accumulator{};
+    remote_wait_acc = Accumulator{};
+  }
+
+  // --- helpers --------------------------------------------------------------
+
   LinkState& link_of_gate(std::size_t g) {
-    const Gate& gate = circuit.gate(g);
-    const int a = assignment[static_cast<std::size_t>(gate.q0())];
-    const int b = assignment[static_cast<std::size_t>(gate.q1())];
+    const Gate& gate = circuit->gate(g);
+    const int a = key.assignment[static_cast<std::size_t>(gate.q0())];
+    const int b = key.assignment[static_cast<std::size_t>(gate.q1())];
     const int idx =
         link_of_pair[static_cast<std::size_t>(a) *
                          static_cast<std::size_t>(config.num_nodes) +
@@ -103,62 +386,6 @@ struct ExecutionEngine::Impl {
     }
     return total;
   }
-
-  // --- metrics -------------------------------------------------------------
-  noise::FidelityLedger ledger;
-  RunResult result;
-  Accumulator pair_age_acc;
-  Accumulator remote_wait_acc;
-  bool ran = false;
-
-  Impl(const Circuit& c, std::vector<int> a, const ArchConfig& cfg,
-       DesignKind d, std::uint64_t seed,
-       const noise::TeleportFidelityModel* model)
-      : circuit(c),
-        assignment(std::move(a)),
-        config(cfg),
-        design(d),
-        rng(seed) {
-    config.validate();
-    if (design != DesignKind::IdealMono) {
-      DQCSIM_EXPECTS_MSG(
-          assignment.size() == static_cast<std::size_t>(circuit.num_qubits()),
-          "partition assignment must cover every qubit");
-      for (int node : assignment) {
-        DQCSIM_EXPECTS_MSG(node >= 0 && node < config.num_nodes,
-                           "node id outside [0, num_nodes)");
-      }
-      placement = sched::classify_gates(circuit, assignment);
-    } else {
-      placement.is_remote.assign(circuit.num_gates(), 0);
-    }
-
-    noise::TeleportNoiseParams tele;
-    tele.local_2q_fidelity = config.fid.local_cnot;
-    tele.local_1q_fidelity = config.fid.one_qubit;
-    tele.readout_fidelity = config.fid.measurement;
-    if (config.remote_impl == RemoteImpl::GateTeleport) {
-      if (model != nullptr) {
-        teleport_model = model;
-      } else if (placement.num_remote_2q > 0) {
-        owned_model.emplace(tele);
-        teleport_model = &*owned_model;
-      }
-    } else if (placement.num_remote_2q > 0) {
-      state_model.emplace(tele);
-    }
-
-    const std::size_t n = circuit.num_gates();
-    last_on_wire.assign(static_cast<std::size_t>(circuit.num_qubits()), kNone);
-    remaining_preds.assign(n, 0);
-    succs_of.assign(n, {});
-    admitted.assign(n, 0);
-    started.assign(n, 0);
-    completed_flag.assign(n, 0);
-    segment_of_gate.assign(n, 0);
-  }
-
-  // --- helpers --------------------------------------------------------------
 
   double latency_of(const Gate& g, bool remote) const {
     if (remote) {
@@ -190,7 +417,7 @@ struct ExecutionEngine::Impl {
     DQCSIM_ENSURES(!admitted[g]);
     admitted[g] = 1;
     segment_of_gate[g] = segment_index;
-    const Gate& gate = circuit.gate(g);
+    const Gate& gate = circuit->gate(g);
     std::size_t preds = 0;
     for (int k = 0; k < gate.arity(); ++k) {
       auto& last = last_on_wire[static_cast<std::size_t>(
@@ -199,8 +426,9 @@ struct ExecutionEngine::Impl {
         // Duplicate edges (same pred via both wires) are fine: count both
         // and notify twice on completion — avoided by checking succs back:
         auto& sv = succs_of[last];
-        if (sv.empty() || sv.back() != g) {
-          sv.push_back(g);
+        if (sv.n == 0 || sv.s[sv.n - 1] != g) {
+          DQCSIM_ENSURES(sv.n < 2);  // one successor per wire
+          sv.s[sv.n++] = g;
           ++preds;
         }
       }
@@ -216,7 +444,7 @@ struct ExecutionEngine::Impl {
   void admit_segment(std::size_t s) {
     DQCSIM_ENSURES(s < segments.size());
     sched::SchedulingPolicy policy = sched::SchedulingPolicy::Original;
-    if (adaptive_policy) {
+    if (use_adaptive) {
       const std::size_t available = total_buffered_pairs();
       policy = adaptive_policy->choose(available);
       switch (policy) {
@@ -237,7 +465,7 @@ struct ExecutionEngine::Impl {
   /// as execution reaches it). Re-entrant calls (a gate starting during
   /// admission) defer to the outer loop.
   void pump_segments() {
-    if (admitting || !adaptive_policy) return;
+    if (admitting || !use_adaptive) return;
     admitting = true;
     while (next_segment < segments.size() &&
            unstarted_in_segment[next_segment - 1] == 0) {
@@ -252,7 +480,7 @@ struct ExecutionEngine::Impl {
   void on_gate_ready(std::size_t g) {
     if (is_remote(g)) {
       LinkState& link = link_of_gate(g);
-      link.pending.push_back(PendingRemote{g, sim.now(), {}});
+      link.pending.push_back(PendingRemote{g, sim.now(), {}, 0});
       try_serve_pending(link);
     } else {
       start_local_gate(g);
@@ -267,11 +495,11 @@ struct ExecutionEngine::Impl {
   }
 
   void start_local_gate(std::size_t g) {
-    if (fuse_chains && circuit.gate(g).arity() == 1) {
+    if (fuse_chains && circuit->gate(g).arity() == 1) {
       start_local_chain(g);
       return;
     }
-    const Gate& gate = circuit.gate(g);
+    const Gate& gate = circuit->gate(g);
     ledger.add_factor(local_term_of(gate), gate_fidelity_local(gate));
     begin_execution(g, latency_of(gate, /*remote=*/false));
   }
@@ -286,7 +514,7 @@ struct ExecutionEngine::Impl {
     for (std::size_t g = head;; g = chain_next[g]) {
       DQCSIM_ENSURES(!started[g]);
       started[g] = 1;
-      const Gate& gate = circuit.gate(g);
+      const Gate& gate = circuit->gate(g);
       ledger.add_factor(local_term_of(gate), gate_fidelity_local(gate));
       end += latency_of(gate, /*remote=*/false);
       tail = g;
@@ -301,41 +529,56 @@ struct ExecutionEngine::Impl {
   }
 
   /// Werner-decayed fidelities of collected pairs at the current instant,
-  /// recording their ages.
-  std::vector<double> decay_births(const std::vector<des::SimTime>& births) {
-    std::vector<double> fidelities;
-    fidelities.reserve(births.size());
-    for (const des::SimTime birth : births) {
-      const double age = sim.now() - birth;
+  /// recording their ages. Returns the reusable scratch buffer.
+  const std::vector<double>& decay_births(const des::SimTime* births,
+                                          std::size_t count) {
+    scratch_raw.clear();
+    for (std::size_t i = 0; i < count; ++i) {
+      const double age = sim.now() - births[i];
       pair_age_acc.add(age);
-      fidelities.push_back(noise::werner_decayed_fidelity(
+      scratch_raw.push_back(noise::werner_decayed_fidelity(
           config.fid.epr_f0, config.kappa, age));
     }
-    return fidelities;
+    return scratch_raw;
   }
 
   /// With purify_on_consume, distill every two raw pairs into one logical
-  /// pair (BBPSSW). Returns nullopt when any round fails — all raw pairs
+  /// pair (BBPSSW). Returns nullptr when any round fails — all raw pairs
   /// are lost and the caller must re-collect (a failure of one round
   /// discards the whole batch; see DESIGN.md). Without purification the
-  /// raw fidelities pass through.
-  std::optional<std::vector<double>> maybe_purify(
-      const std::vector<double>& raw) {
-    if (!config.purify_on_consume) return raw;
-    std::vector<double> logical;
-    bool all_succeeded = true;
+  /// raw fidelities pass through. The returned pointer aims at caller-
+  /// provided or scratch storage valid until the next serve.
+  const std::vector<double>* maybe_purify(const std::vector<double>& raw) {
+    if (!config.purify_on_consume) return &raw;
+    scratch_outcomes.clear();
+    std::size_t draws_needed = 0;
     for (std::size_t i = 0; i + 1 < raw.size(); i += 2) {
-      const auto outcome = noise::purify_werner(raw[i], raw[i + 1]);
+      scratch_outcomes.push_back(noise::purify_werner(raw[i], raw[i + 1]));
+      const double p = scratch_outcomes.back().success_probability;
+      if (p > 0.0 && p < 1.0) ++draws_needed;
+    }
+    // One batched draw covers every probabilistic round. Stream order is
+    // identical to per-round bernoulli() calls, which consume no draw at
+    // p <= 0 or p >= 1 — hence the outcome-first pass above.
+    scratch_uniforms.resize(draws_needed);
+    rng.fill_uniform(scratch_uniforms.data(), draws_needed);
+    scratch_logical.clear();
+    std::size_t next_draw = 0;
+    bool all_succeeded = true;
+    for (const noise::PurificationOutcome& outcome : scratch_outcomes) {
       ++result.purification_rounds;
-      if (rng.bernoulli(outcome.success_probability)) {
-        logical.push_back(outcome.fidelity);
+      const double p = outcome.success_probability;
+      const bool success =
+          p >= 1.0 || (p > 0.0 && scratch_uniforms[next_draw++] < p);
+      if (success) {
+        scratch_logical.push_back(outcome.fidelity);
       } else {
         ++result.purification_failures;
         all_succeeded = false;
       }
     }
-    if (!all_succeeded) return std::nullopt;
-    return logical;
+    if (!all_succeeded) return nullptr;
+    return &scratch_logical;
   }
 
   /// Start a remote gate from its (logical) pair fidelities; `extra_delay`
@@ -352,7 +595,7 @@ struct ExecutionEngine::Impl {
             : state_model->eval(pair_fidelity[0], pair_fidelity[1]);
     ledger.add_factor(noise::FidelityTerm::Remote, gate_fidelity);
     begin_execution(
-        g, extra_delay + latency_of(circuit.gate(g), /*remote=*/true));
+        g, extra_delay + latency_of(circuit->gate(g), /*remote=*/true));
   }
 
   void begin_execution(std::size_t g, double latency) {
@@ -360,7 +603,7 @@ struct ExecutionEngine::Impl {
     started[g] = 1;
 
     // Segment bookkeeping for adaptive admission.
-    if (adaptive_policy) {
+    if (use_adaptive) {
       const std::size_t s = segment_of_gate[g];
       DQCSIM_ENSURES(unstarted_in_segment[s] > 0);
       --unstarted_in_segment[s];
@@ -375,7 +618,9 @@ struct ExecutionEngine::Impl {
     completed_flag[g] = 1;
     ++num_completed;
     makespan = std::max(makespan, sim.now());
-    for (std::size_t next : succs_of[g]) {
+    const GateSuccs& sv = succs_of[g];
+    for (std::uint8_t k = 0; k < sv.n; ++k) {
+      const std::size_t next = sv.s[k];
       DQCSIM_ENSURES(remaining_preds[next] > 0);
       // A chain-fused successor is already running; just settle the edge.
       if (--remaining_preds[next] == 0 && !started[next]) {
@@ -397,23 +642,27 @@ struct ExecutionEngine::Impl {
         static_cast<std::size_t>(config.pairs_per_remote_gate());
     while (!link.pending.empty() &&
            link.service->buffer().size(sim.now()) >= needed) {
-      PendingRemote req = std::move(link.pending.front());
-      link.pending.pop_front();
+      PendingRemote& req = link.pending.front();
+      req.num_births = 0;
       for (std::size_t i = 0; i < needed; ++i) {
         auto pair = link.service->buffer().pop(sim.now(), order);
         DQCSIM_ENSURES(pair.has_value());
-        req.pair_births.push_back(pair->deposited);
+        req.births[req.num_births++] = pair->deposited;
       }
-      const auto logical = maybe_purify(decay_births(req.pair_births));
-      if (!logical) {
+      const auto* logical =
+          maybe_purify(decay_births(req.births.data(), req.num_births));
+      if (logical == nullptr) {
         // Purification failed: pairs are lost, the gate retries from the
         // head of the queue (the buffer shrank, so this loop terminates).
-        req.pair_births.clear();
-        link.pending.push_front(std::move(req));
+        req.num_births = 0;
         continue;
       }
+      const std::size_t gate = req.gate;
       remote_wait_acc.add(sim.now() - req.ready_at);
-      start_remote_gate(req.gate, *logical,
+      link.pending.pop_front();
+      // start_remote_gate reads *logical before any re-entrant serve (via
+      // segment pumping) can clobber the scratch buffers it points into.
+      start_remote_gate(gate, *logical,
                         config.purify_on_consume
                             ? config.purification_latency
                             : 0.0);
@@ -427,29 +676,26 @@ struct ExecutionEngine::Impl {
   bool on_demand_arrival(LinkState& link, des::SimTime now) {
     if (link.pending.empty()) return false;
     PendingRemote& req = link.pending.front();
-    req.pair_births.push_back(now);
-    if (static_cast<int>(req.pair_births.size()) <
-        config.pairs_per_remote_gate()) {
+    req.births[req.num_births++] = now;
+    if (static_cast<int>(req.num_births) < config.pairs_per_remote_gate()) {
       return true;  // claimed and held; wait for the next herald
     }
-    const auto logical = maybe_purify(decay_births(req.pair_births));
-    if (!logical) {
-      req.pair_births.clear();  // pairs lost; keep collecting
+    const auto* logical =
+        maybe_purify(decay_births(req.births.data(), req.num_births));
+    if (logical == nullptr) {
+      req.num_births = 0;  // pairs lost; keep collecting
       return true;
     }
-    PendingRemote filled = std::move(req);
+    const std::size_t gate = req.gate;
+    remote_wait_acc.add(now - req.ready_at);
     link.pending.pop_front();
-    remote_wait_acc.add(now - filled.ready_at);
-    start_remote_gate(filled.gate, *logical,
+    start_remote_gate(gate, *logical,
                       config.purify_on_consume ? config.purification_latency
                                                : 0.0);
     return true;
   }
 
   RunResult do_run() {
-    DQCSIM_EXPECTS_MSG(!ran, "ExecutionEngine::run may be called once");
-    ran = true;
-
     const bool needs_link =
         design != DesignKind::IdealMono && placement.num_remote_2q > 0;
     if (needs_link) {
@@ -457,30 +703,12 @@ struct ExecutionEngine::Impl {
         throw ConfigError(
             "buffered designs need at least one buffer qubit per node");
       }
-      // Instantiate one generation service per node pair with traffic.
-      const auto n = static_cast<std::size_t>(config.num_nodes);
-      link_of_pair.assign(n * n, -1);
       const auto link_params = config.link_params(design);
       const auto mode = design_uses_buffer(design)
                             ? ent::ServiceMode::Buffered
                             : ent::ServiceMode::OnDemand;
-      for (std::size_t g = 0; g < circuit.num_gates(); ++g) {
-        if (!placement.is_remote[g]) continue;
-        const Gate& gate = circuit.gate(g);
-        const auto a = static_cast<std::size_t>(
-            assignment[static_cast<std::size_t>(gate.q0())]);
-        const auto b = static_cast<std::size_t>(
-            assignment[static_cast<std::size_t>(gate.q1())]);
-        if (link_of_pair[a * n + b] >= 0) continue;
-        const int idx = static_cast<int>(links.size());
-        link_of_pair[a * n + b] = idx;
-        link_of_pair[b * n + a] = idx;
-        links.push_back(LinkState{
-            std::make_unique<ent::GenerationService>(sim, link_params, rng,
-                                                     mode),
-            {}});
-      }
       for (auto& link : links) {
+        link.service->reset(link_params, mode);
         LinkState* link_ptr = &link;
         if (mode == ent::ServiceMode::Buffered) {
           link.service->set_arrival_handler([this, link_ptr](des::SimTime) {
@@ -498,26 +726,15 @@ struct ExecutionEngine::Impl {
       }
     }
 
-    if (design_uses_adaptive(design) && needs_link) {
-      segments = sched::segment_by_remote_gates(
-          placement, config.effective_segment_size());
-      variant_table = std::make_unique<sched::SegmentVariantTable>(
-          circuit, placement, segments);
-      adaptive_policy = std::make_unique<sched::AdaptivePolicy>(
-          config.effective_segment_size());
-      unstarted_in_segment.assign(segments.size(), 0);
+    if (use_adaptive) {
       admitting = true;
       next_segment = 1;
       admit_segment(0);
       admitting = false;
       pump_segments();
     } else {
-      if (config.fuse_local_gates) {
-        fuse_chains = true;
-        chain_next = fusible_1q_chain_next(circuit);
-      }
       // Single implicit segment: the whole circuit in program order.
-      for (std::size_t g = 0; g < circuit.num_gates(); ++g) {
+      for (std::size_t g = 0; g < circuit->num_gates(); ++g) {
         admit_gate(g, 0);
       }
     }
@@ -525,7 +742,7 @@ struct ExecutionEngine::Impl {
     // Drive the simulation until every gate has completed. The generation
     // service perpetually schedules events, so the loop can always advance;
     // an event-starved state with unfinished gates indicates a logic error.
-    while (num_completed < circuit.num_gates()) {
+    while (num_completed < circuit->num_gates()) {
       const bool progressed = sim.step();
       DQCSIM_ENSURES_MSG(progressed,
                          "simulation stalled with unfinished gates");
@@ -564,6 +781,43 @@ struct ExecutionEngine::Impl {
   }
 };
 
+RunContext::RunContext() : state_(std::make_unique<State>()) {}
+RunContext::~RunContext() = default;
+RunContext::RunContext(RunContext&&) noexcept = default;
+RunContext& RunContext::operator=(RunContext&&) noexcept = default;
+
+RunResult RunContext::execute(const Circuit& circuit,
+                              const std::vector<int>& assignment,
+                              const ArchConfig& config, DesignKind design,
+                              std::uint64_t seed,
+                              const noise::TeleportFidelityModel* model) {
+  state_->prepare(circuit, assignment, config, design, seed, model);
+  return state_->do_run();
+}
+
+struct ExecutionEngine::Impl {
+  RunContext ctx;
+  const Circuit& circuit;
+  std::vector<int> assignment;
+  ArchConfig config;
+  DesignKind design;
+  std::uint64_t seed;
+  const noise::TeleportFidelityModel* model;
+  bool ran = false;
+
+  Impl(const Circuit& c, std::vector<int> a, const ArchConfig& cfg,
+       DesignKind d, std::uint64_t s,
+       const noise::TeleportFidelityModel* m)
+      : circuit(c),
+        assignment(std::move(a)),
+        config(cfg),
+        design(d),
+        seed(s),
+        model(m) {
+    validate_inputs(circuit, assignment, config, design);
+  }
+};
+
 ExecutionEngine::ExecutionEngine(
     const Circuit& circuit, std::vector<int> assignment,
     const ArchConfig& config, DesignKind design, std::uint64_t seed,
@@ -573,6 +827,11 @@ ExecutionEngine::ExecutionEngine(
 
 ExecutionEngine::~ExecutionEngine() = default;
 
-RunResult ExecutionEngine::run() { return impl_->do_run(); }
+RunResult ExecutionEngine::run() {
+  DQCSIM_EXPECTS_MSG(!impl_->ran, "ExecutionEngine::run may be called once");
+  impl_->ran = true;
+  return impl_->ctx.execute(impl_->circuit, impl_->assignment, impl_->config,
+                            impl_->design, impl_->seed, impl_->model);
+}
 
 }  // namespace dqcsim::runtime

@@ -16,6 +16,17 @@
 /// For adapt_buf / init_buf the engine admits the circuit segment by
 /// segment, choosing the pre-compiled ASAP/ALAP/original variant from the
 /// live buffer occupancy when each segment is admitted (paper §III-D).
+///
+/// Two entry points:
+///  - RunContext: a reusable workspace executing one trial per call. All
+///    engine state (event pool, dependency arrays, link services, scratch
+///    buffers, metrics) is reset() instead of reallocated between calls,
+///    and circuit-derived artifacts (gate placement, segment variants,
+///    fusion chains, link topology, teleportation models) are cached while
+///    consecutive calls share a setup — so a Monte-Carlo trial loop does
+///    zero steady-state allocation. Each thread-pool worker owns one.
+///  - ExecutionEngine: the one-shot facade over a private RunContext
+///    (construct, run() once).
 
 #pragma once
 
@@ -30,6 +41,34 @@
 #include "runtime/metrics.hpp"
 
 namespace dqcsim::runtime {
+
+/// Reusable single-trial execution workspace. Not thread-safe: one
+/// RunContext per concurrent caller (see ThreadPool::parallel_for_workers).
+class RunContext {
+ public:
+  RunContext();
+  ~RunContext();
+  RunContext(RunContext&&) noexcept;
+  RunContext& operator=(RunContext&&) noexcept;
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+
+  /// Execute one trial and return its metrics. Inputs are validated on
+  /// every call; `circuit` and `assignment` must stay alive for the call.
+  ///
+  /// \param teleport_model optional pre-built teleported-gate fidelity
+  ///        model (must match config fidelities); pass nullptr to build
+  ///        (and cache) one internally.
+  RunResult execute(const Circuit& circuit, const std::vector<int>& assignment,
+                    const ArchConfig& config, DesignKind design,
+                    std::uint64_t seed,
+                    const noise::TeleportFidelityModel* teleport_model =
+                        nullptr);
+
+ private:
+  struct State;
+  std::unique_ptr<State> state_;
+};
 
 /// Single-run execution engine. Construct once per run; `run()` may be
 /// called exactly once.

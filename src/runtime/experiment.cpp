@@ -40,15 +40,19 @@ AggregateResult run_design(const Circuit& circuit,
 
   // Per-run results land in disjoint slots; the streaming aggregate is then
   // folded in run order, so thread count and completion order never change
-  // a single bit of the statistics.
+  // a single bit of the statistics. Each worker reuses one RunContext
+  // across its trials, so the steady-state trial loop allocates nothing.
+  const std::size_t workers = parallel_worker_count(
+      static_cast<std::size_t>(runs),
+      threads <= 0 ? 0 : static_cast<std::size_t>(threads));
+  std::vector<RunContext> contexts(workers);
   std::vector<RunResult> results(static_cast<std::size_t>(runs));
-  parallel_for(
+  parallel_for_workers(
       results.size(),
-      [&](std::size_t r) {
-        ExecutionEngine engine(circuit, assignment, config, design,
-                               base_seed + static_cast<std::uint64_t>(r),
-                               &model);
-        results[r] = engine.run();
+      [&](std::size_t worker, std::size_t r) {
+        results[r] = contexts[worker].execute(
+            circuit, assignment, config, design,
+            base_seed + static_cast<std::uint64_t>(r), &model);
       },
       threads <= 0 ? 0 : static_cast<std::size_t>(threads));
 
@@ -72,18 +76,21 @@ std::vector<AggregateResult> run_design_matrix(
 
   // One flat cell grid: all point x run pairs share the pool, so a sweep of
   // many small-run points parallelizes as well as one large run_design.
+  // Cells are claimed in p-major order, so a worker's consecutive trials
+  // usually share a design point and hit its RunContext's setup cache.
   const std::size_t num_runs = static_cast<std::size_t>(runs);
   std::vector<RunResult> cells(points.size() * num_runs);
-  parallel_for(
+  const std::size_t workers = parallel_worker_count(
+      cells.size(), threads <= 0 ? 0 : static_cast<std::size_t>(threads));
+  std::vector<RunContext> contexts(workers);
+  parallel_for_workers(
       cells.size(),
-      [&](std::size_t cell) {
+      [&](std::size_t worker, std::size_t cell) {
         const std::size_t p = cell / num_runs;
         const std::size_t r = cell % num_runs;
-        ExecutionEngine engine(circuit, assignment, points[p].config,
-                               points[p].design,
-                               base_seed + static_cast<std::uint64_t>(r),
-                               &models[p]);
-        cells[cell] = engine.run();
+        cells[cell] = contexts[worker].execute(
+            circuit, assignment, points[p].config, points[p].design,
+            base_seed + static_cast<std::uint64_t>(r), &models[p]);
       },
       threads <= 0 ? 0 : static_cast<std::size_t>(threads));
 

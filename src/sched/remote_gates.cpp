@@ -4,29 +4,38 @@
 
 namespace dqcsim::sched {
 
-GatePlacement classify_gates(const Circuit& circuit,
-                             const std::vector<int>& assignment) {
+void classify_gates(const Circuit& circuit, const std::vector<int>& assignment,
+                    GatePlacement& out) {
   DQCSIM_EXPECTS(assignment.size() ==
                  static_cast<std::size_t>(circuit.num_qubits()));
-  GatePlacement placement;
-  placement.is_remote.assign(circuit.num_gates(), 0);
+  out.is_remote.assign(circuit.num_gates(), 0);
+  out.num_remote_2q = 0;
+  out.num_local_2q = 0;
+  out.num_1q = 0;
+  out.num_measure = 0;
   for (std::size_t i = 0; i < circuit.num_gates(); ++i) {
     const Gate& g = circuit.gate(i);
     if (g.kind == GateKind::Measure) {
-      ++placement.num_measure;
+      ++out.num_measure;
     } else if (g.arity() == 1) {
-      ++placement.num_1q;
+      ++out.num_1q;
     } else {
       const int node0 = assignment[static_cast<std::size_t>(g.q0())];
       const int node1 = assignment[static_cast<std::size_t>(g.q1())];
       if (node0 != node1) {
-        placement.is_remote[i] = 1;
-        ++placement.num_remote_2q;
+        out.is_remote[i] = 1;
+        ++out.num_remote_2q;
       } else {
-        ++placement.num_local_2q;
+        ++out.num_local_2q;
       }
     }
   }
+}
+
+GatePlacement classify_gates(const Circuit& circuit,
+                             const std::vector<int>& assignment) {
+  GatePlacement placement;
+  classify_gates(circuit, assignment, placement);
   return placement;
 }
 

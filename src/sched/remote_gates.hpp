@@ -32,4 +32,9 @@ struct GatePlacement {
 GatePlacement classify_gates(const Circuit& circuit,
                              const std::vector<int>& assignment);
 
+/// In-place variant: overwrite `out` with the classification, reusing its
+/// storage (no allocation once `out.is_remote` has sufficient capacity).
+void classify_gates(const Circuit& circuit, const std::vector<int>& assignment,
+                    GatePlacement& out);
+
 }  // namespace dqcsim::sched

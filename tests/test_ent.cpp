@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <tuple>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -329,6 +330,55 @@ TEST(ArrivalTrace, SyncIsBurstierThanAsync) {
   const double sync = burstiness_of(AttemptSchedule::Synchronous);
   const double async = burstiness_of(AttemptSchedule::Asynchronous);
   EXPECT_GT(sync, 2.0 * async);
+}
+
+TEST(GenerationService, ResetReplaysIdentically) {
+  // A reset service on a reset simulator must reproduce a fresh service's
+  // event stream exactly — the contract the reusable RunContext rests on.
+  des::Simulator sim;
+  Rng rng(7);
+  const LinkParams link = paper_link();
+  const auto run_once = [&](GenerationService& service) {
+    service.start();
+    sim.run_until(200.0);
+    service.stop();
+    return std::tuple{service.attempts(), service.successes(),
+                      service.trace().count(),
+                      service.buffer().raw_size()};
+  };
+  GenerationService service(sim, link, rng, ServiceMode::Buffered);
+  const auto first = run_once(service);
+  sim.reset();
+  rng = Rng(7);
+  service.reset(link, ServiceMode::Buffered);
+  EXPECT_EQ(service.attempts(), 0u);
+  EXPECT_EQ(service.trace().count(), 0u);
+  EXPECT_EQ(service.buffer().raw_size(), 0u);
+  EXPECT_EQ(run_once(service), first);
+}
+
+TEST(GenerationService, ResetCanSwitchModeAndParams) {
+  des::Simulator sim;
+  Rng rng(3);
+  GenerationService service(sim, paper_link(), rng, ServiceMode::Buffered);
+  service.start();
+  sim.run_until(100.0);
+  service.stop();
+  sim.reset();
+  LinkParams narrow = paper_link();
+  narrow.buffer_capacity = 2;
+  service.reset(narrow, ServiceMode::OnDemand);
+  EXPECT_EQ(service.mode(), ServiceMode::OnDemand);
+  EXPECT_EQ(service.buffer().capacity(), 2u);
+  std::size_t offered = 0;
+  service.set_arrival_handler([&offered](des::SimTime) {
+    ++offered;
+    return true;
+  });
+  service.start();
+  sim.run_until(100.0);
+  EXPECT_EQ(offered, service.successes());
+  EXPECT_EQ(service.wasted_unconsumed(), 0u);
 }
 
 TEST(ArrivalTrace, RejectsBadBins) {

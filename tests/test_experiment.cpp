@@ -9,8 +9,10 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "gen/benchmarks.hpp"
+#include "runtime/engine.hpp"
 #include "runtime/experiment.hpp"
 
 namespace dqcsim::runtime {
@@ -112,7 +114,7 @@ TEST(ExperimentDeterminism, ParallelRunDesignIsBitIdenticalToSerial) {
     const AggregateResult serial = run_design(qc, part.assignment, config,
                                               design, kRuns, kSeed,
                                               /*threads=*/1);
-    for (const int threads : {2, 4, 8}) {
+    for (const int threads : {0, 2, 4, 8}) {
       SCOPED_TRACE(design_name(design) + " @ " + std::to_string(threads) +
                    " threads");
       const AggregateResult parallel = run_design(
@@ -155,6 +157,105 @@ TEST(ExperimentDeterminism, FusedLocalGatesAreBitIdenticalToUnfused) {
       expect_identical(a, b);
     }
   }
+}
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.depth, b.depth);
+  EXPECT_EQ(a.fidelity, b.fidelity);
+  EXPECT_EQ(a.fidelity_local, b.fidelity_local);
+  EXPECT_EQ(a.fidelity_remote, b.fidelity_remote);
+  EXPECT_EQ(a.fidelity_idling, b.fidelity_idling);
+  EXPECT_EQ(a.epr_attempts, b.epr_attempts);
+  EXPECT_EQ(a.epr_successes, b.epr_successes);
+  EXPECT_EQ(a.epr_consumed, b.epr_consumed);
+  EXPECT_EQ(a.epr_wasted, b.epr_wasted);
+  EXPECT_EQ(a.epr_expired, b.epr_expired);
+  EXPECT_EQ(a.avg_pair_age, b.avg_pair_age);
+  EXPECT_EQ(a.avg_remote_wait, b.avg_remote_wait);
+  EXPECT_EQ(a.segments_asap, b.segments_asap);
+  EXPECT_EQ(a.segments_alap, b.segments_alap);
+  EXPECT_EQ(a.segments_original, b.segments_original);
+  EXPECT_EQ(a.purification_rounds, b.purification_rounds);
+  EXPECT_EQ(a.purification_failures, b.purification_failures);
+}
+
+TEST(RunContextReuse, MatchesFreshEngineAcrossSetupChanges) {
+  // One RunContext executing a heterogeneous sweep — design switches,
+  // config switches that invalidate the cached setup (segment size, fusion,
+  // remote implementation) and ones that do not (cutoff, purification) —
+  // must reproduce a fresh one-shot engine bit for bit on every trial.
+  const Circuit qc = gen::make_benchmark(gen::BenchmarkId::QAOA_R8_32);
+  const auto part = partition_circuit(qc, 2);
+
+  std::vector<std::pair<DesignKind, ArchConfig>> setups;
+  for (const DesignKind design : distributed_designs()) {
+    setups.push_back({design, ArchConfig{}});
+  }
+  ArchConfig cutoff;
+  cutoff.buffer_cutoff = 25.0;
+  setups.push_back({DesignKind::AsyncBuf, cutoff});
+  ArchConfig purify;
+  purify.purify_on_consume = true;
+  setups.push_back({DesignKind::AsyncBuf, purify});
+  ArchConfig unfused;
+  unfused.fuse_local_gates = false;
+  setups.push_back({DesignKind::AsyncBuf, unfused});
+  ArchConfig state_tp;
+  state_tp.remote_impl = RemoteImpl::StateTeleport;
+  setups.push_back({DesignKind::AsyncBuf, state_tp});
+  ArchConfig wide_segments;
+  wide_segments.segment_size = 2;
+  setups.push_back({DesignKind::AdaptBuf, wide_segments});
+  setups.push_back({DesignKind::IdealMono, ArchConfig{}});
+
+  RunContext reused;
+  // Two passes so every setup is revisited after the cache was retargeted.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < setups.size(); ++i) {
+      SCOPED_TRACE("pass " + std::to_string(pass) + " setup " +
+                   std::to_string(i));
+      const auto& [design, config] = setups[i];
+      const std::vector<int> assignment =
+          design == DesignKind::IdealMono ? std::vector<int>{}
+                                          : part.assignment;
+      const std::uint64_t seed = 100 + i;
+      const RunResult fresh =
+          ExecutionEngine(qc, assignment, config, design, seed).run();
+      const RunResult ctx = reused.execute(qc, assignment, config, design,
+                                           seed);
+      expect_identical(ctx, fresh);
+    }
+  }
+}
+
+TEST(RunContextReuse, RepeatedSameSeedTrialsAreIdentical) {
+  const Circuit qc = gen::make_benchmark(gen::BenchmarkId::TLIM_32);
+  const auto part = partition_circuit(qc, 2);
+  RunContext ctx;
+  const RunResult first =
+      ctx.execute(qc, part.assignment, {}, DesignKind::SyncBuf, 9);
+  for (int i = 0; i < 3; ++i) {
+    ctx.execute(qc, part.assignment, {}, DesignKind::SyncBuf, 9 + i + 1);
+    const RunResult again =
+        ctx.execute(qc, part.assignment, {}, DesignKind::SyncBuf, 9);
+    expect_identical(again, first);
+  }
+}
+
+TEST(RunContextReuse, ValidatesInputsOnEveryCall) {
+  const Circuit qc = gen::make_benchmark(gen::BenchmarkId::QAOA_R4_32);
+  const auto part = partition_circuit(qc, 2);
+  RunContext ctx;
+  ctx.execute(qc, part.assignment, {}, DesignKind::AsyncBuf, 1);
+  EXPECT_THROW(
+      ctx.execute(qc, {0, 1}, {}, DesignKind::AsyncBuf, 1),
+      PreconditionError);
+  std::vector<int> bad = part.assignment;
+  bad.front() = 7;
+  EXPECT_THROW(ctx.execute(qc, bad, {}, DesignKind::AsyncBuf, 1),
+               PreconditionError);
+  // The context stays usable after a rejected call.
+  ctx.execute(qc, part.assignment, {}, DesignKind::AsyncBuf, 1);
 }
 
 TEST(ExperimentDeterminism, DifferentBaseSeedsDiffer) {
