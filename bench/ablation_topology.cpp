@@ -1,0 +1,118 @@
+/// \file ablation_topology.cpp
+/// \brief Ablation: physical interconnect topology x node count.
+///
+/// Sweeps {all-to-all, chain, ring, grid, star} x {4, 8, 16} QPU nodes on
+/// the 32-qubit QAOA and QFT workloads. Every topology gets the same
+/// per-node hardware budget (16 comm + 16 buffer qubits, split across each
+/// node's physical links), so the comparison isolates the interconnect
+/// shape: sparse topologies get fatter per-link generation capacity but
+/// route non-adjacent traffic through multi-hop entanglement swaps (lower
+/// end-to-end fidelity, swap-chain latency), while all-to-all spreads the
+/// budget thin across direct links. Partitions are topology-aware
+/// (runtime::partition_circuit(circuit, topology)): heavily communicating
+/// parts land on adjacent QPUs.
+///
+/// Caveat: routed logical links do not share physical-edge capacity (see
+/// net/swap.hpp), so the sparse-topology numbers are optimistic for
+/// congestion-prone shapes — the star hub and chain bottleneck rows show
+/// the routing/fidelity cost, not queueing contention on shared edges.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace dqcsim;
+
+net::Topology make_topology(const std::string& name, int nodes) {
+  if (name == "all_to_all") return net::Topology::all_to_all(nodes);
+  if (name == "chain") return net::Topology::chain(nodes);
+  if (name == "ring") return net::Topology::ring(nodes);
+  if (name == "star") return net::Topology::star(nodes);
+  // Grid: 4 -> 2x2, 8 -> 2x4, 16 -> 4x4.
+  return net::Topology::grid(nodes == 16 ? 4 : 2, nodes == 4 ? 2 : 4);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: interconnect topology x node count ===\n\n";
+
+  const int runs = bench::runs_from_env();
+  bench::BenchReport report("ablation_topology");
+  TablePrinter table({"benchmark", "topology", "#nodes", "remote", "multihop",
+                      "avg hops", "swaps/run", "depth", "rel. ideal",
+                      "fidelity"});
+  CsvWriter csv(bench::csv_path("ablation_topology"),
+                {"benchmark", "topology", "nodes", "remote_gates",
+                 "multihop_gates", "avg_route_hops", "swaps_mean",
+                 "depth_mean", "depth_rel_ideal", "fidelity_mean"});
+
+  for (const auto id :
+       {gen::BenchmarkId::QAOA_R8_32, gen::BenchmarkId::QFT_32}) {
+    const Circuit qc = gen::make_benchmark(id);
+    for (const int nodes : {4, 8, 16}) {
+      for (const std::string& name :
+           {std::string("all_to_all"), std::string("chain"),
+            std::string("ring"), std::string("grid"), std::string("star")}) {
+        const net::Topology topo = make_topology(name, nodes);
+        const auto part = runtime::partition_circuit(qc, topo);
+        const auto placement = sched::classify_gates(qc, part.assignment);
+        const net::Router router(topo);
+        const auto distance = sched::remote_distance_stats(
+            qc, part.assignment, placement, router);
+
+        runtime::ArchConfig config;
+        config.num_nodes = nodes;
+        config.comm_per_node = 16;    // covers the 15 links of 16-node
+        config.buffer_per_node = 16;  // all-to-all; sparse shapes get more
+        config.record_arrival_trace = false;
+        config.set_topology(topo);
+        const double ideal = runtime::ideal_depth(qc, config);
+
+        runtime::AggregateResult agg;
+        report.time_section(benchmark_name(id) + "/" + name + "/nodes=" +
+                                std::to_string(nodes),
+                            static_cast<std::size_t>(runs), [&] {
+                              agg = runtime::run_design(
+                                  qc, part.assignment, config,
+                                  runtime::DesignKind::AsyncBuf, runs);
+                            });
+
+        table.add_row(
+            {benchmark_name(id), name, TablePrinter::fmt(nodes),
+             TablePrinter::fmt(placement.num_remote_2q),
+             TablePrinter::fmt(distance.multihop_gates),
+             TablePrinter::fmt(agg.avg_route_hops.mean(), 2),
+             TablePrinter::fmt(agg.entanglement_swaps.mean(), 1),
+             TablePrinter::fmt(agg.depth.mean(), 1),
+             TablePrinter::fmt(agg.depth.mean() / ideal, 2),
+             TablePrinter::fmt(agg.fidelity.mean(), 4)});
+        csv.add_row({benchmark_name(id), name, std::to_string(nodes),
+                     std::to_string(placement.num_remote_2q),
+                     std::to_string(distance.multihop_gates),
+                     TablePrinter::fmt(agg.avg_route_hops.mean(), 3),
+                     TablePrinter::fmt(agg.entanglement_swaps.mean(), 2),
+                     TablePrinter::fmt(agg.depth.mean(), 3),
+                     TablePrinter::fmt(agg.depth.mean() / ideal, 4),
+                     TablePrinter::fmt(agg.fidelity.mean(), 5)});
+      }
+    }
+  }
+  table.print(std::cout);
+  report.write();
+
+  std::cout
+      << "\nExpected shape: all-to-all minimizes hops but splits the comm "
+         "budget across k-1 thin links; chain/ring/grid concentrate "
+         "capacity on few links and pay multi-hop swap chains for distant "
+         "traffic (fidelity drops with every swap); the star pays the hub: "
+         "its degree bounds per-link capacity and every leaf-to-leaf pair "
+         "routes through it. Topology-aware partitioning keeps the heavy "
+         "node pairs adjacent, so the average route length stays well "
+         "below the topology diameter.\n";
+  return 0;
+}

@@ -4,6 +4,7 @@
 
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -15,6 +16,16 @@ namespace dqcsim::bench {
 
 /// Number of stochastic runs per configuration (the paper averages 50).
 inline constexpr int kRuns = 50;
+
+/// kRuns unless the DQCSIM_BENCH_RUNS environment variable overrides it
+/// (CI smoke jobs run the sweep shape at a reduced trial count).
+inline int runs_from_env() {
+  if (const char* env = std::getenv("DQCSIM_BENCH_RUNS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  return kRuns;
+}
 
 /// Evaluate `designs` on one configuration through the batched matrix API:
 /// all design x seed cells share one thread pool, so the whole sweep runs

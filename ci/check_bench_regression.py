@@ -15,7 +15,13 @@ baseline tolerate measurement jitter but not a real allocation sneaking back
 into the hot path).
 
 Usage:
-    check_bench_regression.py CURRENT.json BASELINE.json [--threshold 1.25]
+    check_bench_regression.py CURRENT.json [MORE.json ...] BASELINE.json
+                              [--threshold 1.25]
+
+Multiple current reports are merged before comparison, so one baseline file
+can gate perf_micro micro-kernels and the smoke-run sweep sections of other
+benches together. A baseline kernel may carry a "gate_threshold" field to
+widen (or tighten) its own gate relative to --threshold.
 
 Refreshing the baseline: download the bench-reports artifact from a trusted
 run on main and commit it as ci/bench_baseline.json (see README).
@@ -36,23 +42,32 @@ def load_kernels(path):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("current")
+    parser.add_argument(
+        "current",
+        nargs="+",
+        help="one or more BENCH_*.json reports; kernels are merged",
+    )
     parser.add_argument("baseline")
     parser.add_argument(
         "--threshold",
         type=float,
         default=1.25,
-        help="fail when current ns_per_op > baseline * threshold",
+        help="fail when current ns_per_op > baseline * threshold; a kernel"
+        " may widen its own gate with a gate_threshold baseline field"
+        " (wall-clock sweep sections are noisier than micro-kernels)",
     )
     args = parser.parse_args()
 
-    current = load_kernels(args.current)
+    current = {}
+    for path in args.current:
+        current.update(load_kernels(path))
     baseline = load_kernels(args.baseline)
 
     failures = []
     rows = []
     for name, base in sorted(baseline.items()):
         base_ns = base.get("ns_per_op", 0.0)
+        threshold = base.get("gate_threshold", args.threshold)
         cur = current.get(name)
         if cur is None:
             failures.append(f"{name}: tracked kernel missing from current report")
@@ -64,8 +79,8 @@ def main():
             continue
         ratio = cur_ns / base_ns
         verdict = "ok"
-        if ratio > args.threshold:
-            verdict = f"REGRESSION (> {args.threshold:.2f}x)"
+        if ratio > threshold:
+            verdict = f"REGRESSION (> {threshold:.2f}x)"
             failures.append(f"{name}: {base_ns:.1f} -> {cur_ns:.1f} ns/op ({ratio:.2f}x)")
         for counter, base_val in base.get("counters", {}).items():
             cur_val = cur.get("counters", {}).get(counter)
@@ -73,7 +88,7 @@ def main():
                 failures.append(f"{name}: tracked counter {counter} missing")
                 verdict = "COUNTER MISSING"
                 continue
-            limit = base_val * args.threshold + 0.01
+            limit = base_val * threshold + 0.01
             if cur_val > limit:
                 failures.append(
                     f"{name}: counter {counter} {base_val:.3g} -> {cur_val:.3g}"

@@ -65,6 +65,11 @@
 #include "ent/link_params.hpp"
 #include "ent/trace.hpp"
 
+#include "net/mapping.hpp"
+#include "net/router.hpp"
+#include "net/swap.hpp"
+#include "net/topology.hpp"
+
 #include "sched/adaptive_policy.hpp"
 #include "sched/remote_gates.hpp"
 #include "sched/segmentation.hpp"

@@ -93,14 +93,14 @@ void GenerationService::on_window_complete(int pair_index) {
         if (epoch != epoch_) return;
         const des::SimTime at = sim_.now();
         if (buffer_.deposit(at)) {
-          trace_.record(at);
+          if (params_.record_trace) trace_.record(at);
           if (handler_) handler_(at);
         } else {
           ++wasted_buffer_full_;
         }
       });
     } else {
-      trace_.record(now);
+      if (params_.record_trace) trace_.record(now);
       const bool consumed = handler_ ? handler_(now) : false;
       if (!consumed) ++wasted_unconsumed_;
     }

@@ -37,9 +37,15 @@ struct LinkParams {
   int async_subgroups = 10;
   /// Which buffered pair remote gates consume (see ConsumeOrder).
   bool consume_freshest = true;
+  /// Record every pair arrival in the ArrivalTrace. The trace feeds the
+  /// Fig. 3 burstiness analysis; Monte-Carlo sweeps that never read it can
+  /// switch it off to avoid the per-arrival log growth entirely.
+  bool record_trace = true;
 
   /// Throws ConfigError when any field is out of domain.
   void validate() const;
+
+  friend bool operator==(const LinkParams&, const LinkParams&) = default;
 };
 
 }  // namespace dqcsim::ent

@@ -1,0 +1,130 @@
+#include "net/mapping.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace dqcsim::net {
+
+namespace {
+
+std::int64_t traffic_at(const TrafficMatrix& traffic, int k, int p, int q) {
+  return traffic[static_cast<std::size_t>(p) * static_cast<std::size_t>(k) +
+                 static_cast<std::size_t>(q)];
+}
+
+}  // namespace
+
+std::int64_t mapped_cut_weight(const TrafficMatrix& traffic, int k,
+                               const std::vector<int>& mapping,
+                               const Router& router) {
+  DQCSIM_EXPECTS(traffic.size() ==
+                 static_cast<std::size_t>(k) * static_cast<std::size_t>(k));
+  DQCSIM_EXPECTS(mapping.size() == static_cast<std::size_t>(k));
+  std::int64_t total = 0;
+  for (int p = 0; p < k; ++p) {
+    for (int q = p + 1; q < k; ++q) {
+      const std::int64_t w = traffic_at(traffic, k, p, q);
+      if (w == 0) continue;
+      total += w * router.hop_distance(mapping[static_cast<std::size_t>(p)],
+                                       mapping[static_cast<std::size_t>(q)]);
+    }
+  }
+  return total;
+}
+
+std::vector<int> optimize_node_mapping(const TrafficMatrix& traffic, int k,
+                                       const Router& router) {
+  DQCSIM_EXPECTS(k == router.topology().num_nodes());
+  DQCSIM_EXPECTS(traffic.size() ==
+                 static_cast<std::size_t>(k) * static_cast<std::size_t>(k));
+  const auto uk = static_cast<std::size_t>(k);
+
+  // Parts by total traffic, heaviest first (stable: ties keep id order).
+  std::vector<int> part_order(uk);
+  std::iota(part_order.begin(), part_order.end(), 0);
+  std::vector<std::int64_t> part_traffic(uk, 0);
+  for (int p = 0; p < k; ++p) {
+    for (int q = 0; q < k; ++q) {
+      if (q != p) {
+        part_traffic[static_cast<std::size_t>(p)] +=
+            traffic_at(traffic, k, p, q);
+      }
+    }
+  }
+  std::stable_sort(part_order.begin(), part_order.end(),
+                   [&](int a, int b) {
+                     return part_traffic[static_cast<std::size_t>(a)] >
+                            part_traffic[static_cast<std::size_t>(b)];
+                   });
+
+  std::vector<int> mapping(uk, -1);
+  std::vector<char> node_used(uk, 0);
+
+  // Greedy: heaviest part onto the most central node; each further part
+  // onto the free node with the smallest marginal distance-scaled cost
+  // against the parts already placed.
+  for (const int p : part_order) {
+    int best_node = -1;
+    std::int64_t best_cost = 0;
+    for (int v = 0; v < k; ++v) {
+      if (node_used[static_cast<std::size_t>(v)]) continue;
+      std::int64_t cost = 0;
+      bool first_placement = true;
+      for (int q = 0; q < k; ++q) {
+        if (mapping[static_cast<std::size_t>(q)] == -1 || q == p) continue;
+        first_placement = false;
+        cost += traffic_at(traffic, k, p, q) *
+                router.hop_distance(v, mapping[static_cast<std::size_t>(q)]);
+      }
+      if (first_placement) {
+        // Seed on the most central node: minimal total hop distance.
+        for (int u = 0; u < k; ++u) {
+          if (u != v) cost += router.hop_distance(v, u);
+        }
+      }
+      if (best_node == -1 || cost < best_cost) {
+        best_node = v;
+        best_cost = cost;
+      }
+    }
+    mapping[static_cast<std::size_t>(p)] = best_node;
+    node_used[static_cast<std::size_t>(best_node)] = 1;
+  }
+
+  // Prefer the identity on ties so topologies where placement is moot
+  // (all-to-all: every pair adjacent) keep the partitioner's raw part ids.
+  std::vector<int> identity(uk);
+  std::iota(identity.begin(), identity.end(), 0);
+  if (mapped_cut_weight(traffic, k, identity, router) <=
+      mapped_cut_weight(traffic, k, mapping, router)) {
+    mapping = identity;
+  }
+
+  // Pairwise-swap hill climbing: strictly improving swaps only, so the
+  // integer objective decreases monotonically and the loop terminates.
+  std::int64_t current = mapped_cut_weight(traffic, k, mapping, router);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (int p = 0; p < k; ++p) {
+      for (int q = p + 1; q < k; ++q) {
+        std::swap(mapping[static_cast<std::size_t>(p)],
+                  mapping[static_cast<std::size_t>(q)]);
+        const std::int64_t cand = mapped_cut_weight(traffic, k, mapping,
+                                                    router);
+        if (cand < current) {
+          current = cand;
+          improved = true;
+        } else {
+          std::swap(mapping[static_cast<std::size_t>(p)],
+                    mapping[static_cast<std::size_t>(q)]);
+        }
+      }
+    }
+  }
+  return mapping;
+}
+
+}  // namespace dqcsim::net

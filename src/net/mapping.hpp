@@ -1,0 +1,41 @@
+/// \file mapping.hpp
+/// \brief Placement of circuit partitions onto physical topology nodes.
+///
+/// A balanced min-cut partition decides *which* qubits share a QPU; on a
+/// sparse interconnect it also matters *where* each part lands: parts that
+/// exchange many remote gates should sit on adjacent nodes, or every one of
+/// their gates pays a multi-hop swap chain. This module minimises the
+/// distance-scaled cut  sum_{p<q} traffic(p,q) * hops(map(p), map(q))
+/// with a deterministic greedy construction plus pairwise-swap refinement
+/// (the classic QAP heuristic; exact for the all-to-all topology where
+/// every mapping is equivalent).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/router.hpp"
+
+namespace dqcsim::net {
+
+/// Inter-part traffic: row-major k x k symmetric matrix of remote-gate
+/// multiplicities (diagonal ignored).
+using TrafficMatrix = std::vector<std::int64_t>;
+
+/// Distance-scaled cut of `mapping` (part -> node) under `router` hop
+/// distances. Preconditions: mapping is a permutation of [0, k),
+/// traffic.size() == k * k, router spans >= k nodes.
+std::int64_t mapped_cut_weight(const TrafficMatrix& traffic, int k,
+                               const std::vector<int>& mapping,
+                               const Router& router);
+
+/// Find a part -> node mapping with small distance-scaled cut. Greedy seed
+/// (heaviest-traffic part onto the best-connected node, then best marginal
+/// placement per part) followed by pairwise-swap hill climbing to a local
+/// optimum. Deterministic for fixed inputs.
+/// Precondition: k == router.topology().num_nodes().
+std::vector<int> optimize_node_mapping(const TrafficMatrix& traffic, int k,
+                                       const Router& router);
+
+}  // namespace dqcsim::net

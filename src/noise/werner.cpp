@@ -31,4 +31,14 @@ double werner_weight_from_fidelity(double fidelity) {
   return (4.0 * fidelity - 1.0) / 3.0;
 }
 
+double werner_fidelity_from_weight(double weight) {
+  DQCSIM_EXPECTS(weight >= 0.0 && weight <= 1.0);
+  return (3.0 * weight + 1.0) / 4.0;
+}
+
+double werner_swapped_fidelity(double fa, double fb) {
+  return werner_fidelity_from_weight(werner_weight_from_fidelity(fa) *
+                                     werner_weight_from_fidelity(fb));
+}
+
 }  // namespace dqcsim::noise

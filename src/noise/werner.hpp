@@ -24,4 +24,15 @@ double werner_time_to_fidelity(double f0, double kappa, double f_min);
 /// F: w = (4F - 1) / 3. Precondition: F in [0.25, 1].
 double werner_weight_from_fidelity(double fidelity);
 
+/// Fidelity of the Werner state with weight `w`: F = (3w + 1) / 4.
+/// Precondition: w in [0, 1].
+double werner_fidelity_from_weight(double weight);
+
+/// Fidelity of the pair produced by one ideal entanglement swap (Bell-state
+/// measurement at the midpoint) of two Werner pairs of fidelities `fa` and
+/// `fb`: the weights multiply, w = wa * wb, so
+///   F = (3 * wa * wb + 1) / 4.
+/// Preconditions: fa, fb in [0.25, 1].
+double werner_swapped_fidelity(double fa, double fb);
+
 }  // namespace dqcsim::noise

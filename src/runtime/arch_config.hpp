@@ -8,8 +8,11 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 
 #include "ent/link_params.hpp"
+#include "net/swap.hpp"
+#include "net/topology.hpp"
 #include "runtime/design.hpp"
 
 namespace dqcsim::runtime {
@@ -88,6 +91,25 @@ struct ArchConfig {
   /// non-adaptive designs (the adaptive controller observes execution at
   /// gate granularity and is left untouched).
   bool fuse_local_gates = true;
+  /// Record per-pair arrival times in each link's ArrivalTrace (Fig. 3).
+  /// Monte-Carlo sweeps that never read the trace can switch this off; no
+  /// simulated statistic depends on it.
+  bool record_arrival_trace = true;
+  /// Physical interconnect topology. Null (the default) means the legacy
+  /// homogeneous all-to-all interconnect; setting a topology routes every
+  /// node pair's entanglement over physical links (multi-hop pairs are
+  /// composed through entanglement swaps, see net::Router / net::compose
+  /// _route). Shared ownership keeps ArchConfig copies allocation-free in
+  /// the Monte-Carlo trial loop.
+  std::shared_ptr<const net::Topology> topology;
+  /// Edge-cost model for route selection when a topology is set: expected
+  /// time per delivered pair by default (cycle / (p_succ * pairs)).
+  bool route_by_hops = false;
+
+  /// Convenience: wrap `topo` for the shared `topology` slot.
+  void set_topology(net::Topology topo) {
+    topology = std::make_shared<const net::Topology>(std::move(topo));
+  }
 
   /// EPR pairs consumed per remote gate under the selected implementation
   /// (a *successful* purification round doubles the count again).
@@ -100,12 +122,29 @@ struct ArchConfig {
   void validate() const;
 
   /// Derive the entanglement-link parameters for a given design
-  /// (schedule/buffering follow the design's feature set). Each node splits
-  /// its communication/buffer qubits evenly across its num_nodes - 1 links,
-  /// so per-link resources shrink as the interconnect widens.
+  /// (schedule/buffering follow the design's feature set) under the legacy
+  /// all-to-all interconnect. Each node splits its communication/buffer
+  /// qubits evenly across its num_nodes - 1 links, so per-link resources
+  /// shrink as the interconnect widens.
   /// Throws ConfigError when a node has fewer communication qubits than
   /// links (comm_per_node < num_nodes - 1).
   ent::LinkParams link_params(DesignKind design) const;
+
+  /// Per-node-pair link parameters. Without a topology every pair gets the
+  /// homogeneous all-to-all parameters above. With a topology, {a, b} must
+  /// be a physical edge: the edge's overrides apply and each endpoint
+  /// splits its comm/buffer budget across its own degree (the scarcer
+  /// endpoint bounds the link). Multi-hop pairs have no direct link — the
+  /// engine derives their effective link by routing (net::compose_route);
+  /// requesting one here throws ConfigError.
+  /// Throws ConfigError when an endpoint's degree exceeds comm_per_node.
+  ent::LinkParams link_params(DesignKind design, int node_a,
+                              int node_b) const;
+
+  /// Local-operation model of one entanglement swap under this config:
+  /// BSM fidelity = local CNOT x measurement^2, latency = local CNOT +
+  /// measurement (feed-forward runs in the Pauli frame).
+  net::SwapParams swap_params() const;
 
   /// Effective adaptive segment size m.
   std::size_t effective_segment_size() const;

@@ -10,6 +10,8 @@
 #include "common/rng.hpp"
 #include "des/simulator.hpp"
 #include "ent/generation_service.hpp"
+#include "net/router.hpp"
+#include "net/swap.hpp"
 #include "noise/fidelity_ledger.hpp"
 #include "noise/purification.hpp"
 #include "noise/werner.hpp"
@@ -154,15 +156,62 @@ struct RunContext::State {
     }
   };
 
-  // One entanglement link per node pair that carries remote gates
-  // (all-to-all interconnect; links without traffic are not instantiated).
-  // Services persist across trials and are reset() per trial.
+  // One entanglement link per node pair that carries remote gates (links
+  // without traffic are not instantiated). Services persist across trials
+  // and are reset() per trial with that trial's parameters: homogeneous
+  // all-to-all without a topology, or the routed end-to-end composition of
+  // the pair's physical path with one (see refresh_routing / do_run).
   struct LinkState {
     std::unique_ptr<ent::GenerationService> service;
     PendingFifo pending;
+    int node_a = 0;             ///< logical endpoint pair served
+    int node_b = 0;
+    int hops = 1;               ///< physical edges backing the pair
+    double extra_latency = 0.0; ///< swap-chain delay per consuming gate
   };
   std::vector<LinkState> links;
   std::vector<int> link_of_pair;  // [a * num_nodes + b] -> index or -1
+
+  // --- routing cache (topology-backed interconnects) ------------------------
+  // Rebuilt only when its inputs change, so consecutive same-configuration
+  // trials route with zero allocation. Not part of the setup key: routing
+  // depends on link parameters (p_succ sweeps), which the setup cache
+  // deliberately ignores.
+
+  /// The scalar configuration slice that, together with the (immutable,
+  /// pinned) topology, fully determines per-edge parameters, edge costs,
+  /// and routes — so a trial's cache-hit test is one memberwise compare.
+  struct RouteInputs {
+    DesignKind design = DesignKind::AsyncBuf;
+    bool route_by_hops = false;
+    int comm_per_node = 0;
+    int buffer_per_node = 0;
+    double p_succ = 0.0;
+    double epr_cycle = 0.0;
+    double swap_buffer = 0.0;
+    double f0 = 0.0;
+    double kappa = 0.0;
+    double cutoff = 0.0;
+    int async_subgroups = 0;
+    bool consume_freshest = false;
+    bool record_trace = true;
+    net::SwapParams swap;
+
+    friend bool operator==(const RouteInputs&,
+                           const RouteInputs&) = default;
+  };
+
+  struct RouteCache {
+    bool valid = false;
+    /// Shared ownership pins the cached topology's address, so the pointer
+    /// comparison in refresh_routing can never alias a recycled object.
+    std::shared_ptr<const net::Topology> topology;
+    RouteInputs inputs;
+    std::vector<ent::LinkParams> edge_params;  ///< per topology edge
+    std::vector<double> edge_costs;
+    net::Router router;
+  };
+  RouteCache route_cache;
 
   // --- adaptive scheduling state (per trial) --------------------------------
   std::size_t next_segment = 0;  ///< index of the next segment to admit
@@ -195,6 +244,7 @@ struct RunContext::State {
   RunResult result;
   Accumulator pair_age_acc;
   Accumulator remote_wait_acc;
+  Accumulator route_hops_acc;
 
   // --- setup / reuse --------------------------------------------------------
 
@@ -259,7 +309,6 @@ struct RunContext::State {
     if (needs_link) {
       const auto n = static_cast<std::size_t>(cfg.num_nodes);
       link_of_pair.assign(n * n, -1);
-      const auto link_params = cfg.link_params(d);
       const auto mode = design_uses_buffer(d) ? ent::ServiceMode::Buffered
                                               : ent::ServiceMode::OnDemand;
       for (std::size_t g = 0; g < c.num_gates(); ++g) {
@@ -273,10 +322,17 @@ struct RunContext::State {
         const int idx = static_cast<int>(links.size());
         link_of_pair[a * n + b] = idx;
         link_of_pair[b * n + a] = idx;
+        // Construct with placeholder defaults: do_run resets every service
+        // with the trial's actual (possibly routed) parameters before it
+        // starts, so nothing behavioral is derived from these.
         links.push_back(LinkState{
-            std::make_unique<ent::GenerationService>(sim, link_params, rng,
-                                                     mode),
-            {}});
+            std::make_unique<ent::GenerationService>(sim, ent::LinkParams{},
+                                                     rng, mode),
+            {},
+            static_cast<int>(a),
+            static_cast<int>(b),
+            1,
+            0.0});
       }
     }
 
@@ -361,6 +417,55 @@ struct RunContext::State {
     result = RunResult{};
     pair_age_acc = Accumulator{};
     remote_wait_acc = Accumulator{};
+    route_hops_acc = Accumulator{};
+  }
+
+  /// Bring the routing cache up to date with the current trial's topology
+  /// and link parameters. A cache hit (consecutive trials of one sweep
+  /// cell) is one scalar compare and performs no allocation; a miss
+  /// re-derives per-edge parameters, edge costs and all-pairs routes.
+  void refresh_routing() {
+    RouteInputs inputs;
+    inputs.design = design;
+    inputs.route_by_hops = config.route_by_hops;
+    inputs.comm_per_node = config.comm_per_node;
+    inputs.buffer_per_node = config.buffer_per_node;
+    inputs.p_succ = config.p_succ;
+    inputs.epr_cycle = config.lat.epr_cycle;
+    inputs.swap_buffer = config.lat.swap_buffer;
+    inputs.f0 = config.fid.epr_f0;
+    inputs.kappa = config.kappa;
+    inputs.cutoff = config.buffer_cutoff;
+    inputs.async_subgroups = config.async_subgroups;
+    inputs.consume_freshest = config.consume_freshest;
+    inputs.record_trace = config.record_arrival_trace;
+    inputs.swap = config.swap_params();
+    if (route_cache.valid && route_cache.topology == config.topology &&
+        route_cache.inputs == inputs) {
+      return;
+    }
+    const net::Topology& topo = *config.topology;
+    const std::size_t num_edges = topo.num_edges();
+    route_cache.valid = false;
+    route_cache.topology = config.topology;
+    route_cache.inputs = inputs;
+    route_cache.edge_params.resize(num_edges);
+    route_cache.edge_costs.resize(num_edges);
+    for (std::size_t e = 0; e < num_edges; ++e) {
+      const net::TopologyEdge& edge = topo.edge(e);
+      const ent::LinkParams p =
+          config.link_params(design, edge.a, edge.b);
+      route_cache.edge_params[e] = p;
+      // Expected time per delivered pair: attempt window over the link's
+      // aggregate success rate. Hop-count routing ignores link quality.
+      route_cache.edge_costs[e] =
+          config.route_by_hops
+              ? 1.0
+              : p.cycle_time /
+                    (p.p_succ * static_cast<double>(p.num_comm_pairs));
+    }
+    route_cache.router = net::Router(topo, route_cache.edge_costs);
+    route_cache.valid = true;
   }
 
   // --- helpers --------------------------------------------------------------
@@ -529,15 +634,19 @@ struct RunContext::State {
   }
 
   /// Werner-decayed fidelities of collected pairs at the current instant,
-  /// recording their ages. Returns the reusable scratch buffer.
-  const std::vector<double>& decay_births(const des::SimTime* births,
+  /// recording their ages. Decay starts from the serving link's effective
+  /// fresh fidelity (swap-composed on routed links; the architecture-wide
+  /// f0 on homogeneous ones). Returns the reusable scratch buffer.
+  const std::vector<double>& decay_births(const LinkState& link,
+                                          const des::SimTime* births,
                                           std::size_t count) {
+    const ent::LinkParams& lp = link.service->params();
     scratch_raw.clear();
     for (std::size_t i = 0; i < count; ++i) {
       const double age = sim.now() - births[i];
       pair_age_acc.add(age);
-      scratch_raw.push_back(noise::werner_decayed_fidelity(
-          config.fid.epr_f0, config.kappa, age));
+      scratch_raw.push_back(
+          noise::werner_decayed_fidelity(lp.f0, lp.kappa, age));
     }
     return scratch_raw;
   }
@@ -649,8 +758,11 @@ struct RunContext::State {
         DQCSIM_ENSURES(pair.has_value());
         req.births[req.num_births++] = pair->deposited;
       }
+      // Each consumed end-to-end pair carried hops - 1 entanglement swaps.
+      result.entanglement_swaps +=
+          static_cast<std::size_t>(link.hops - 1) * needed;
       const auto* logical =
-          maybe_purify(decay_births(req.births.data(), req.num_births));
+          maybe_purify(decay_births(link, req.births.data(), req.num_births));
       if (logical == nullptr) {
         // Purification failed: pairs are lost, the gate retries from the
         // head of the queue (the buffer shrank, so this loop terminates).
@@ -659,13 +771,15 @@ struct RunContext::State {
       }
       const std::size_t gate = req.gate;
       remote_wait_acc.add(sim.now() - req.ready_at);
+      route_hops_acc.add(static_cast<double>(link.hops));
       link.pending.pop_front();
       // start_remote_gate reads *logical before any re-entrant serve (via
       // segment pumping) can clobber the scratch buffers it points into.
       start_remote_gate(gate, *logical,
-                        config.purify_on_consume
-                            ? config.purification_latency
-                            : 0.0);
+                        link.extra_latency +
+                            (config.purify_on_consume
+                                 ? config.purification_latency
+                                 : 0.0));
     }
   }
 
@@ -677,21 +791,25 @@ struct RunContext::State {
     if (link.pending.empty()) return false;
     PendingRemote& req = link.pending.front();
     req.births[req.num_births++] = now;
+    result.entanglement_swaps += static_cast<std::size_t>(link.hops - 1);
     if (static_cast<int>(req.num_births) < config.pairs_per_remote_gate()) {
       return true;  // claimed and held; wait for the next herald
     }
     const auto* logical =
-        maybe_purify(decay_births(req.births.data(), req.num_births));
+        maybe_purify(decay_births(link, req.births.data(), req.num_births));
     if (logical == nullptr) {
       req.num_births = 0;  // pairs lost; keep collecting
       return true;
     }
     const std::size_t gate = req.gate;
     remote_wait_acc.add(now - req.ready_at);
+    route_hops_acc.add(static_cast<double>(link.hops));
     link.pending.pop_front();
     start_remote_gate(gate, *logical,
-                      config.purify_on_consume ? config.purification_latency
-                                               : 0.0);
+                      link.extra_latency +
+                          (config.purify_on_consume
+                               ? config.purification_latency
+                               : 0.0));
     return true;
   }
 
@@ -703,12 +821,29 @@ struct RunContext::State {
         throw ConfigError(
             "buffered designs need at least one buffer qubit per node");
       }
-      const auto link_params = config.link_params(design);
       const auto mode = design_uses_buffer(design)
                             ? ent::ServiceMode::Buffered
                             : ent::ServiceMode::OnDemand;
+      const bool routed = config.topology != nullptr;
+      ent::LinkParams flat_params;
+      if (routed) {
+        refresh_routing();
+      } else {
+        flat_params = config.link_params(design);
+      }
       for (auto& link : links) {
-        link.service->reset(link_params, mode);
+        if (routed) {
+          const net::RoutedLink rl = net::compose_route(
+              route_cache.router.route(link.node_a, link.node_b),
+              route_cache.edge_params, route_cache.inputs.swap);
+          link.service->reset(rl.params, mode);
+          link.hops = rl.hops;
+          link.extra_latency = rl.extra_latency;
+        } else {
+          link.service->reset(flat_params, mode);
+          link.hops = 1;
+          link.extra_latency = 0.0;
+        }
         LinkState* link_ptr = &link;
         if (mode == ent::ServiceMode::Buffered) {
           link.service->set_arrival_handler([this, link_ptr](des::SimTime) {
@@ -777,6 +912,7 @@ struct RunContext::State {
     }
     result.avg_pair_age = pair_age_acc.mean();
     result.avg_remote_wait = remote_wait_acc.mean();
+    result.avg_route_hops = route_hops_acc.mean();
     return result;
   }
 };

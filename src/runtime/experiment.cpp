@@ -5,6 +5,8 @@
 #include "circuit/interaction_graph.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "net/mapping.hpp"
+#include "net/router.hpp"
 #include "runtime/engine.hpp"
 
 namespace dqcsim::runtime {
@@ -29,6 +31,39 @@ partition::PartitionResult partition_circuit(const Circuit& circuit,
   partition::PartitionOptions opts;
   opts.seed = seed;
   return partition::multilevel_partition(graph, num_nodes, opts);
+}
+
+partition::PartitionResult partition_circuit(const Circuit& circuit,
+                                             const net::Topology& topology,
+                                             std::uint64_t seed) {
+  topology.validate();
+  const int k = topology.num_nodes();
+  partition::PartitionResult result = partition_circuit(circuit, k, seed);
+
+  // Inter-part remote-gate traffic (the plain cut, resolved per pair).
+  const auto uk = static_cast<std::size_t>(k);
+  net::TrafficMatrix traffic(uk * uk, 0);
+  for (std::size_t i = 0; i < circuit.num_gates(); ++i) {
+    const Gate& g = circuit.gate(i);
+    if (g.arity() != 2) continue;
+    const auto p = static_cast<std::size_t>(
+        result.assignment[static_cast<std::size_t>(g.q0())]);
+    const auto q = static_cast<std::size_t>(
+        result.assignment[static_cast<std::size_t>(g.q1())]);
+    if (p == q) continue;
+    ++traffic[p * uk + q];
+    ++traffic[q * uk + p];
+  }
+
+  // Place parts on physical nodes to minimise the distance-scaled cut.
+  const net::Router router(topology);  // hop-count metric
+  const std::vector<int> mapping =
+      net::optimize_node_mapping(traffic, k, router);
+  for (int& node : result.assignment) {
+    node = mapping[static_cast<std::size_t>(node)];
+  }
+  result.cut = net::mapped_cut_weight(traffic, k, mapping, router);
+  return result;
 }
 
 AggregateResult run_design(const Circuit& circuit,

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "circuit/circuit.hpp"
+#include "net/topology.hpp"
 #include "partition/partitioner.hpp"
 #include "runtime/arch_config.hpp"
 #include "runtime/design.hpp"
@@ -19,6 +20,17 @@ namespace dqcsim::runtime {
 /// of the interaction graph (the paper's METIS baseline, §IV-A).
 partition::PartitionResult partition_circuit(const Circuit& circuit,
                                              int num_nodes,
+                                             std::uint64_t seed = 1);
+
+/// Topology-aware partition: balanced min-cut across the topology's nodes,
+/// then a part -> physical-node placement that minimises the
+/// distance-scaled cut sum(traffic(p, q) * hops(p, q)) (heavily
+/// communicating parts land on adjacent QPUs, so fewer remote gates pay
+/// multi-hop swap chains; see net::optimize_node_mapping). The returned
+/// `cut` is that distance-scaled weight — on an all-to-all topology it
+/// equals the plain cut and the assignment matches the overload above.
+partition::PartitionResult partition_circuit(const Circuit& circuit,
+                                             const net::Topology& topology,
                                              std::uint64_t seed = 1);
 
 /// Run `design` on the partitioned circuit `runs` times with seeds

@@ -9,6 +9,8 @@ void AggregateResult::add(const RunResult& run) {
   epr_expired.add(static_cast<double>(run.epr_expired));
   avg_pair_age.add(run.avg_pair_age);
   avg_remote_wait.add(run.avg_remote_wait);
+  entanglement_swaps.add(static_cast<double>(run.entanglement_swaps));
+  avg_route_hops.add(run.avg_route_hops);
 }
 
 }  // namespace dqcsim::runtime

@@ -30,6 +30,15 @@ struct RunResult {
   double avg_pair_age = 0.0;    ///< mean buffer dwell time of consumed pairs
   double avg_remote_wait = 0.0; ///< mean remote-gate wait for a pair
 
+  // Routing accounting (topology-backed interconnects; see src/net/).
+  /// Entanglement swaps performed for consumed end-to-end pairs: each pair
+  /// delivered over an h-hop route costs h - 1 swaps. 0 on single-hop
+  /// (all-to-all) interconnects.
+  std::size_t entanglement_swaps = 0;
+  /// Mean route length (hops) over executed remote gates; 1.0 when every
+  /// consumed pair crossed a direct physical link, 0 with no remote gates.
+  double avg_route_hops = 0.0;
+
   // Adaptive-controller decisions (adapt_buf / init_buf only).
   std::size_t segments_asap = 0;
   std::size_t segments_alap = 0;
@@ -48,6 +57,8 @@ struct AggregateResult {
   Accumulator epr_expired;
   Accumulator avg_pair_age;
   Accumulator avg_remote_wait;
+  Accumulator entanglement_swaps;
+  Accumulator avg_route_hops;
 
   /// Fold one run into the aggregate.
   void add(const RunResult& run);

@@ -39,4 +39,26 @@ GatePlacement classify_gates(const Circuit& circuit,
   return placement;
 }
 
+RemoteDistanceStats remote_distance_stats(const Circuit& circuit,
+                                          const std::vector<int>& assignment,
+                                          const GatePlacement& placement,
+                                          const net::Router& router) {
+  DQCSIM_EXPECTS(assignment.size() ==
+                 static_cast<std::size_t>(circuit.num_qubits()));
+  DQCSIM_EXPECTS(placement.is_remote.size() == circuit.num_gates());
+  RemoteDistanceStats stats;
+  for (std::size_t i = 0; i < circuit.num_gates(); ++i) {
+    if (!placement.is_remote[i]) continue;
+    const Gate& g = circuit.gate(i);
+    const int hops = router.hop_distance(
+        assignment[static_cast<std::size_t>(g.q0())],
+        assignment[static_cast<std::size_t>(g.q1())]);
+    stats.total_hops += static_cast<std::size_t>(hops);
+    stats.total_swaps += static_cast<std::size_t>(hops - 1);
+    if (hops > 1) ++stats.multihop_gates;
+    if (hops > stats.max_hops) stats.max_hops = hops;
+  }
+  return stats;
+}
+
 }  // namespace dqcsim::sched

@@ -149,6 +149,46 @@ TEST(GenerationService, SyncCompletionsLandOnCycleGrid) {
   EXPECT_GT(service.wasted_buffer_full(), 0u);
 }
 
+TEST(GenerationService, TraceOptOutSkipsRecordingOnly) {
+  // Same physics with record_trace off: deposits, counters and buffer
+  // occupancy are untouched; only the arrival log stays empty.
+  LinkParams link = paper_link();
+  link.p_succ = 1.0;
+
+  des::Simulator sim_on;
+  Rng rng_on(1);
+  GenerationService on(sim_on, link, rng_on, ServiceMode::Buffered);
+  on.start();
+  sim_on.run_until(35.0);
+
+  link.record_trace = false;
+  des::Simulator sim_off;
+  Rng rng_off(1);
+  GenerationService off(sim_off, link, rng_off, ServiceMode::Buffered);
+  off.start();
+  sim_off.run_until(35.0);
+
+  EXPECT_GT(on.trace().count(), 0u);
+  EXPECT_EQ(off.trace().count(), 0u);
+  EXPECT_EQ(on.attempts(), off.attempts());
+  EXPECT_EQ(on.successes(), off.successes());
+  EXPECT_EQ(on.wasted_buffer_full(), off.wasted_buffer_full());
+  EXPECT_EQ(on.buffer().size(35.0), off.buffer().size(35.0));
+}
+
+TEST(GenerationService, TraceOptOutAppliesOnDemandToo) {
+  LinkParams link = paper_link();
+  link.p_succ = 1.0;
+  link.record_trace = false;
+  des::Simulator sim;
+  Rng rng(1);
+  GenerationService service(sim, link, rng, ServiceMode::OnDemand);
+  service.start();
+  sim.run_until(25.0);
+  EXPECT_GT(service.successes(), 0u);
+  EXPECT_EQ(service.trace().count(), 0u);
+}
+
 TEST(GenerationService, AsyncOffsetsAreStaggered) {
   des::Simulator sim;
   Rng rng(2);

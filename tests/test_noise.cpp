@@ -68,6 +68,30 @@ TEST(Werner, RejectsBadArguments) {
   EXPECT_THROW(werner_decayed_fidelity(0.9, 0.002, -1.0), PreconditionError);
 }
 
+TEST(Werner, FidelityFromWeightInvertsWeightFromFidelity) {
+  for (const double f : {0.25, 0.5, 0.75, 0.99, 1.0}) {
+    EXPECT_NEAR(werner_fidelity_from_weight(werner_weight_from_fidelity(f)),
+                f, 1e-12);
+  }
+  EXPECT_THROW(werner_fidelity_from_weight(-0.1), PreconditionError);
+  EXPECT_THROW(werner_fidelity_from_weight(1.1), PreconditionError);
+}
+
+TEST(Werner, SwappedFidelityMultipliesWeights) {
+  // Perfect pairs swap perfectly; a maximally mixed partner destroys the
+  // pair (w = 0 -> F = 0.25).
+  EXPECT_DOUBLE_EQ(werner_swapped_fidelity(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(werner_swapped_fidelity(0.9, 0.25), 0.25);
+  // Hand-computed: w(0.95) = 2.8/3, w(0.85) = 2.4/3,
+  // F = (3 * (2.8 * 2.4 / 9) + 1) / 4.
+  const double expected = (3.0 * (2.8 * 2.4 / 9.0) + 1.0) / 4.0;
+  EXPECT_NEAR(werner_swapped_fidelity(0.95, 0.85), expected, 1e-12);
+  // Commutative, and never better than the worse pair.
+  EXPECT_DOUBLE_EQ(werner_swapped_fidelity(0.95, 0.85),
+                   werner_swapped_fidelity(0.85, 0.95));
+  EXPECT_LT(werner_swapped_fidelity(0.95, 0.85), 0.85);
+}
+
 // ------------------------------------------------- teleported-CNOT fidelity ----
 
 TEST(TeleportFidelity, NoiselessPerfectPairIsExact) {

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -413,6 +414,64 @@ TEST(MultiNode, RejectsMoreLinksThanCommQubits) {
   config.num_nodes = 12;
   config.comm_per_node = 10;
   EXPECT_THROW(config.link_params(DesignKind::SyncBuf), ConfigError);
+}
+
+TEST(MultiNode, LinkSplittingCoversEveryNodeCount) {
+  // k-node all-to-all: each node splits its budget over k-1 links. Sweep
+  // k = 2..16 at the paper's 10+10 budget: valid up to k = 11 (10 links),
+  // ConfigError beyond.
+  for (int k = 2; k <= 16; ++k) {
+    ArchConfig config = paper_config();
+    config.num_nodes = k;
+    const int links = k - 1;
+    if (links > config.comm_per_node) {
+      EXPECT_THROW(config.link_params(DesignKind::SyncBuf), ConfigError)
+          << "k=" << k;
+      continue;
+    }
+    const auto link = config.link_params(DesignKind::SyncBuf);
+    EXPECT_EQ(link.num_comm_pairs, 10 / links) << "k=" << k;
+    EXPECT_EQ(link.buffer_capacity, std::max(1, 10 / links)) << "k=" << k;
+    EXPECT_NO_THROW(link.validate()) << "k=" << k;
+  }
+}
+
+TEST(MultiNode, UnevenSplitsRoundDownButStayPositive) {
+  ArchConfig config = paper_config();
+  // 10 comm over 3 links -> 3 pairs each (1 qubit idle per node).
+  config.num_nodes = 4;
+  const auto four = config.link_params(DesignKind::SyncBuf);
+  EXPECT_EQ(four.num_comm_pairs, 3);
+  EXPECT_EQ(four.buffer_capacity, 3);
+  // 10 comm over 7 links -> 1 pair each; buffer clamps to >= 1 for
+  // buffered designs even though 10 / 7 = 1 anyway.
+  config.num_nodes = 8;
+  const auto eight = config.link_params(DesignKind::SyncBuf);
+  EXPECT_EQ(eight.num_comm_pairs, 1);
+  EXPECT_EQ(eight.buffer_capacity, 1);
+  // Exactly one comm qubit per link is the edge of validity.
+  config.num_nodes = 11;
+  EXPECT_EQ(config.link_params(DesignKind::SyncBuf).num_comm_pairs, 1);
+  // Buffer clamp: a buffered design with a tiny buffer budget still gets
+  // one slot per link; bufferless designs get none.
+  config.num_nodes = 4;
+  config.buffer_per_node = 1;
+  EXPECT_EQ(config.link_params(DesignKind::SyncBuf).buffer_capacity, 1);
+  EXPECT_EQ(config.link_params(DesignKind::Original).buffer_capacity, 0);
+}
+
+TEST(MultiNode, EngineSurfacesTheLinkSplittingError) {
+  // The ConfigError must also fire end-to-end, not just in link_params.
+  ArchConfig config = paper_config();
+  config.num_nodes = 12;
+  config.comm_per_node = 10;
+  Circuit wide(12);
+  for (int i = 0; i < 12; ++i) wide.h(i);
+  wide.cx(0, 11);
+  std::vector<int> nodes(12);
+  for (int i = 0; i < 12; ++i) nodes[static_cast<std::size_t>(i)] = i;
+  ExecutionEngine engine(wide, nodes, config, DesignKind::SyncBuf, 1);
+  EXPECT_THROW(engine.run(), ConfigError);
 }
 
 TEST(MultiNode, FourNodeRingExecutes) {

@@ -64,6 +64,33 @@ TEST(RemoteGates, RequiresFullAssignment) {
   EXPECT_THROW(classify_gates(qc, {0, 1}), PreconditionError);
 }
 
+TEST(RemoteGates, DistanceStatsFollowTheRouter) {
+  // Qubits on chain nodes {0, 1, 1, 3}: one adjacent remote gate, one
+  // 3-hop remote gate, one local gate.
+  Circuit qc(4);
+  qc.cx(0, 1);  // nodes 0-1: 1 hop
+  qc.cx(0, 3);  // nodes 0-3: 3 hops
+  qc.cx(1, 2);  // both on node 1: local
+  qc.h(0);
+  const std::vector<int> assignment{0, 1, 1, 3};
+  const GatePlacement placement = classify_gates(qc, assignment);
+  const net::Router router(net::Topology::chain(4));
+  const RemoteDistanceStats stats =
+      remote_distance_stats(qc, assignment, placement, router);
+  EXPECT_EQ(stats.multihop_gates, 1u);
+  EXPECT_EQ(stats.total_hops, 4u);
+  EXPECT_EQ(stats.total_swaps, 2u);
+  EXPECT_EQ(stats.max_hops, 3);
+
+  // All-to-all: every remote gate is one hop, no swaps.
+  const net::Router full(net::Topology::all_to_all(4));
+  const RemoteDistanceStats flat =
+      remote_distance_stats(qc, assignment, placement, full);
+  EXPECT_EQ(flat.multihop_gates, 0u);
+  EXPECT_EQ(flat.total_swaps, 0u);
+  EXPECT_EQ(flat.max_hops, 1);
+}
+
 // ------------------------------------------------------------ segmentation ----
 
 TEST(Segmentation, SplitsAtRemoteQuota) {
