@@ -1,0 +1,129 @@
+/// \file ablation_fault.cpp
+/// \brief Ablation: link-outage rate x interconnect topology x node count.
+///
+/// Sweeps stochastic per-edge link failures (scenario::RandomLinkFailures,
+/// mean up-time mtbf in {off, 1500, 400} local-CNOT units with a 120-unit
+/// repair window) over {chain, ring, grid, star} x {4, 8, 12} QPU nodes on
+/// the 32-qubit QAOA workload. Each cell reports the usual depth/fidelity
+/// figures of merit plus the fault-scenario accounting: mean route
+/// re-establishments per run and mean routeless downtime.
+///
+/// The node sweep stops at 12: on a 16-chain the workload's long-distance
+/// pairs compose p_succ ~ 0.4^hops, and outages multiply the resulting
+/// makespan by the route availability — the stationary chain@16 baseline
+/// alone runs for minutes and would dominate the sweep without adding
+/// fault-model signal.
+///
+/// Expected shape: redundant topologies (ring, grid) absorb most outages by
+/// switching the affected logical links to surviving detours — reroutes
+/// climb with the outage rate while downtime stays near zero. Cut-edge
+/// topologies (chain, star leaves) cannot detour: every failure stalls its
+/// traffic for the repair window, so downtime grows with the rate and every
+/// reroute is a recovery. Depth degrades accordingly; fidelity additionally
+/// pays for the longer detour routes.
+///
+/// All results derive from fixed seeds, so counters are bit-stable across
+/// machines and CI gates them exactly (see ci/bench_baseline.json).
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace dqcsim;
+
+net::Topology make_topology(const std::string& name, int nodes) {
+  if (name == "chain") return net::Topology::chain(nodes);
+  if (name == "ring") return net::Topology::ring(nodes);
+  if (name == "star") return net::Topology::star(nodes);
+  // Grid: 4 -> 2x2, 8 -> 2x4, 12 -> 3x4.
+  return net::Topology::grid(nodes == 12 ? 3 : 2, nodes == 4 ? 2 : 4);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: outage rate x topology x node count ===\n\n";
+
+  const int runs = bench::runs_from_env();
+  bench::BenchReport report("ablation_fault");
+  TablePrinter table({"topology", "#nodes", "mtbf", "reroutes/run",
+                      "downtime/run", "depth", "fidelity"});
+  CsvWriter csv(bench::csv_path("ablation_fault"),
+                {"benchmark", "topology", "nodes", "mtbf", "reroutes_mean",
+                 "outage_downtime_mean", "depth_mean", "fidelity_mean"});
+
+  const auto id = gen::BenchmarkId::QAOA_R8_32;
+  const Circuit qc = gen::make_benchmark(id);
+  for (const int nodes : {4, 8, 12}) {
+    for (const std::string& name :
+         {std::string("chain"), std::string("ring"), std::string("grid"),
+          std::string("star")}) {
+      const net::Topology topo = make_topology(name, nodes);
+      const auto part = runtime::partition_circuit(qc, topo);
+
+      for (const double mtbf : {0.0, 1500.0, 400.0}) {
+        runtime::ArchConfig config;
+        config.num_nodes = nodes;
+        config.comm_per_node = 16;
+        config.buffer_per_node = 16;
+        config.record_arrival_trace = false;
+        config.set_topology(topo);
+        if (mtbf > 0.0) {
+          scenario::Scenario scn;
+          scn.random_failures.mtbf = mtbf;
+          scn.random_failures.duration = 120.0;
+          config.set_scenario(std::move(scn));
+        }
+
+        runtime::AggregateResult agg;
+        const auto t0 = std::chrono::steady_clock::now();
+        agg = runtime::run_design(qc, part.assignment, config,
+                                  runtime::DesignKind::AsyncBuf, runs);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double ns =
+            std::chrono::duration<double, std::nano>(t1 - t0).count();
+
+        bench::KernelResult r;
+        r.name = benchmark_name(id) + "/" + name + "/nodes=" +
+                 std::to_string(nodes) + "/mtbf=" +
+                 std::to_string(static_cast<int>(mtbf));
+        std::cerr << r.name << ": " << (ns * 1e-6) << " ms\n";
+        r.iterations = 1.0;
+        r.ns_per_op = ns / static_cast<double>(runs);
+        r.items_per_s = static_cast<double>(runs) / (ns * 1e-9);
+        r.counters = {{"reroutes_mean", agg.reroutes.mean()},
+                      {"outage_downtime_mean", agg.outage_downtime.mean()},
+                      {"depth_mean", agg.depth.mean()},
+                      {"fidelity_mean", agg.fidelity.mean()}};
+        report.add(std::move(r));
+
+        table.add_row({name, TablePrinter::fmt(nodes),
+                       TablePrinter::fmt(static_cast<int>(mtbf)),
+                       TablePrinter::fmt(agg.reroutes.mean(), 2),
+                       TablePrinter::fmt(agg.outage_downtime.mean(), 1),
+                       TablePrinter::fmt(agg.depth.mean(), 1),
+                       TablePrinter::fmt(agg.fidelity.mean(), 4)});
+        csv.add_row({benchmark_name(id), name, std::to_string(nodes),
+                     TablePrinter::fmt(mtbf, 0),
+                     TablePrinter::fmt(agg.reroutes.mean(), 3),
+                     TablePrinter::fmt(agg.outage_downtime.mean(), 3),
+                     TablePrinter::fmt(agg.depth.mean(), 3),
+                     TablePrinter::fmt(agg.fidelity.mean(), 5)});
+      }
+    }
+  }
+  table.print(std::cout);
+  report.write();
+
+  std::cout << "\nExpected shape: lower mtbf (more frequent outages) raises "
+               "reroutes everywhere; redundant shapes (ring, grid) convert "
+               "them into live detour switches with near-zero downtime, "
+               "while cut-edge shapes (chain, star) stall for the repair "
+               "window and accumulate downtime and depth.\n";
+  return 0;
+}

@@ -35,9 +35,29 @@ import sys
 def load_kernels(path):
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("schema_version") != 1:
-        sys.exit(f"{path}: unsupported schema_version {doc.get('schema_version')}")
-    return {k["name"]: k for k in doc.get("kernels", [])}
+    if not isinstance(doc, dict) or doc.get("schema_version") != 1:
+        sys.exit(f"{path}: unsupported schema_version "
+                 f"{doc.get('schema_version') if isinstance(doc, dict) else doc!r}")
+    kernels = doc.get("kernels")
+    if not isinstance(kernels, list):
+        sys.exit(f"{path}: 'kernels' is not a list")
+    out = {}
+    for i, k in enumerate(kernels):
+        if not isinstance(k, dict) or not isinstance(k.get("name"), str):
+            sys.exit(f"{path}: kernels[{i}] has no usable 'name' field")
+        out[k["name"]] = k
+    return out
+
+
+def as_number(value):
+    """`value` as a float, or None for null / missing / non-numeric fields.
+
+    A partially written or truncated report may carry nulls where numbers
+    belong; those must become named failures, never tracebacks.
+    """
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    return None
 
 
 def main():
@@ -66,26 +86,68 @@ def main():
     failures = []
     rows = []
     for name, base in sorted(baseline.items()):
-        base_ns = base.get("ns_per_op", 0.0)
-        threshold = base.get("gate_threshold", args.threshold)
+        base_ns = as_number(base.get("ns_per_op"))
+        threshold = args.threshold
+        if "gate_threshold" in base:
+            threshold = as_number(base.get("gate_threshold"))
+            if threshold is None or threshold <= 0.0:
+                failures.append(
+                    f"{name}: gate_threshold is not a positive number in baseline"
+                )
+                rows.append((name, base_ns, None, None, "BAD BASELINE"))
+                continue
         cur = current.get(name)
         if cur is None:
             failures.append(f"{name}: tracked kernel missing from current report")
             rows.append((name, base_ns, None, None, "MISSING"))
             continue
-        cur_ns = cur.get("ns_per_op", 0.0)
-        if base_ns <= 0.0:
-            rows.append((name, base_ns, cur_ns, None, "SKIP (no baseline time)"))
+        cur_ns = as_number(cur.get("ns_per_op"))
+        if cur_ns is None:
+            failures.append(
+                f"{name}: ns_per_op missing or null in current report"
+            )
+            rows.append((name, base_ns, None, None, "BAD CURRENT"))
             continue
-        ratio = cur_ns / base_ns
-        verdict = "ok"
-        if ratio > threshold:
-            verdict = f"REGRESSION (> {threshold:.2f}x)"
-            failures.append(f"{name}: {base_ns:.1f} -> {cur_ns:.1f} ns/op ({ratio:.2f}x)")
-        for counter, base_val in base.get("counters", {}).items():
-            cur_val = cur.get("counters", {}).get(counter)
+        if base_ns is None:
+            failures.append(
+                f"{name}: ns_per_op missing or null in baseline"
+            )
+            rows.append((name, None, cur_ns, None, "BAD BASELINE"))
+            continue
+        if base_ns <= 0.0:
+            ratio = None
+            verdict = "SKIP (no baseline time)"
+        else:
+            ratio = cur_ns / base_ns
+            verdict = "ok"
+            if ratio > threshold:
+                verdict = f"REGRESSION (> {threshold:.2f}x)"
+                failures.append(
+                    f"{name}: {base_ns:.1f} -> {cur_ns:.1f} ns/op ({ratio:.2f}x)"
+                )
+        base_counters = base.get("counters")
+        if base_counters is None:
+            base_counters = {}
+        if not isinstance(base_counters, dict):
+            failures.append(f"{name}: counters is not an object in baseline")
+            rows.append((name, base_ns, cur_ns, ratio, "BAD BASELINE"))
+            continue
+        cur_counters = cur.get("counters")
+        if not isinstance(cur_counters, dict):
+            cur_counters = {}
+        for counter, base_raw in base_counters.items():
+            base_val = as_number(base_raw)
+            if base_val is None:
+                failures.append(
+                    f"{name}: counter {counter} missing or null in baseline"
+                )
+                verdict = "BAD BASELINE"
+                continue
+            cur_val = as_number(cur_counters.get(counter))
             if cur_val is None:
-                failures.append(f"{name}: tracked counter {counter} missing")
+                failures.append(
+                    f"{name}: counter {counter} missing or null in current report"
+                )
                 verdict = "COUNTER MISSING"
                 continue
             limit = base_val * threshold + 0.01
@@ -100,9 +162,10 @@ def main():
     width = max((len(r[0]) for r in rows), default=10)
     print(f"{'kernel':<{width}}  {'baseline':>12}  {'current':>12}  {'ratio':>6}  verdict")
     for name, base_ns, cur_ns, ratio, verdict in rows:
+        base_s = f"{base_ns:12.1f}" if base_ns is not None else f"{'-':>12}"
         cur_s = f"{cur_ns:12.1f}" if cur_ns is not None else f"{'-':>12}"
         ratio_s = f"{ratio:6.2f}" if ratio is not None else f"{'-':>6}"
-        print(f"{name:<{width}}  {base_ns:12.1f}  {cur_s}  {ratio_s}  {verdict}")
+        print(f"{name:<{width}}  {base_s}  {cur_s}  {ratio_s}  {verdict}")
 
     untracked = sorted(set(current) - set(baseline))
     if untracked:

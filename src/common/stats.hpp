@@ -41,11 +41,13 @@ class Accumulator {
   /// (normal approximation, appropriate for the 50-run averages used here).
   double ci95_half_width() const noexcept;
 
-  /// Smallest observation; +inf when empty.
-  double min() const noexcept { return min_; }
+  /// Smallest observation; 0 when empty (like mean(); check count() to
+  /// distinguish. The extrema must stay finite: ±inf leaked into bench
+  /// reports, where JSON has no representation and emitted `null`).
+  double min() const noexcept { return n_ == 0 ? 0.0 : min_; }
 
-  /// Largest observation; -inf when empty.
-  double max() const noexcept { return max_; }
+  /// Largest observation; 0 when empty (see min()).
+  double max() const noexcept { return n_ == 0 ? 0.0 : max_; }
 
  private:
   std::size_t n_ = 0;

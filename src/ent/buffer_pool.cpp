@@ -38,7 +38,7 @@ std::size_t BufferPool::size(des::SimTime now) {
   return count_;
 }
 
-bool BufferPool::deposit(des::SimTime now) {
+bool BufferPool::deposit(des::SimTime now, double f0) {
   expire_until(now);
   if (count_ >= capacity_) {
     ++rejected_;
@@ -46,7 +46,7 @@ bool BufferPool::deposit(des::SimTime now) {
   }
   std::size_t tail = head_ + count_;
   if (tail >= capacity_) tail -= capacity_;
-  ring_[tail] = BufferedPair{now};
+  ring_[tail] = BufferedPair{now, f0};
   ++count_;
   ++deposited_;
   return true;

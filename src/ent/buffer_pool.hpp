@@ -24,6 +24,7 @@ namespace dqcsim::ent {
 /// A buffered EPR pair (timestamps in simulation time units).
 struct BufferedPair {
   des::SimTime deposited;  ///< when the pair became available in the buffer
+  double f0 = 0.99;        ///< fidelity at deposit time (the birth fidelity)
 };
 
 /// Which buffered pair a remote gate consumes.
@@ -63,9 +64,13 @@ class BufferPool {
   bool full(des::SimTime now) { return size(now) >= capacity_; }
   bool empty(des::SimTime now) { return size(now) == 0; }
 
-  /// Store a pair deposited at `now`. Returns false (and counts a waste)
-  /// when the pool is full.
-  bool deposit(des::SimTime now);
+  /// Store a pair deposited at `now` with birth fidelity `f0` (the value a
+  /// time-varying link produced at this instant). Returns false (and counts
+  /// a waste) when the pool is full.
+  bool deposit(des::SimTime now, double f0);
+
+  /// Store a pair at the pool's configured f0 — the stationary-fabric case.
+  bool deposit(des::SimTime now) { return deposit(now, f0_); }
 
   /// Remove and return the oldest pair still within the cutoff, or nullopt
   /// when the pool is empty at time `now`.

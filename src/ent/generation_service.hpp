@@ -38,6 +38,19 @@ enum class ServiceMode {
   OnDemand,
 };
 
+/// Effective link parameters at one instant, as seen through an active
+/// fault & drift scenario (the engine composes scenario::ScenarioRuntime
+/// scales over the logical link's current route).
+struct EffectiveLink {
+  double p_succ = 1.0;  ///< per-attempt success probability right now
+  double f0 = 0.99;     ///< fidelity a pair born right now would have
+  bool up = true;       ///< false while any hop of the route is down
+};
+
+/// Queried by the service at every attempt-window boundary (and at
+/// pre-fill). Absent provider == stationary fabric.
+using EffectiveProvider = std::function<EffectiveLink(des::SimTime)>;
+
 /// Event-driven generation service over one inter-node link.
 class GenerationService {
  public:
@@ -74,6 +87,16 @@ class GenerationService {
     handler_ = std::move(handler);
   }
 
+  /// Install a time-varying effective-parameter source (see
+  /// EffectiveProvider). The provider is re-read at every attempt-window
+  /// completion: drift takes effect at the next window boundary, and a
+  /// down link pauses attempting (no attempt counted, no RNG draw) while
+  /// the completion chain stays on the phase grid, so generation resumes
+  /// in phase on recovery. Cleared by reset().
+  void set_effective_provider(EffectiveProvider provider) {
+    provider_ = std::move(provider);
+  }
+
   BufferPool& buffer() noexcept { return buffer_; }
   const BufferPool& buffer() const noexcept { return buffer_; }
   const ArrivalTrace& trace() const noexcept { return trace_; }
@@ -104,6 +127,7 @@ class GenerationService {
   BufferPool buffer_;
   ArrivalTrace trace_;
   ArrivalHandler handler_;
+  EffectiveProvider provider_;
   bool started_ = false;
   bool running_ = false;
   /// Bumped by reset(): events scheduled before a reset carry the old

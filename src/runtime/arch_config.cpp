@@ -52,6 +52,15 @@ void ArchConfig::validate() const {
           "ArchConfig: topology node count must match num_nodes");
     }
   }
+  if (scenario) {
+    if (!topology) {
+      throw ConfigError(
+          "ArchConfig: a fault scenario requires a topology (scenarios "
+          "target physical edges; use net::Topology::all_to_all for the "
+          "legacy interconnect)");
+    }
+    scenario->validate(*topology);
+  }
 }
 
 namespace {

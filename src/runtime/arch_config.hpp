@@ -14,6 +14,7 @@
 #include "net/swap.hpp"
 #include "net/topology.hpp"
 #include "runtime/design.hpp"
+#include "scenario/scenario.hpp"
 
 namespace dqcsim::runtime {
 
@@ -105,10 +106,20 @@ struct ArchConfig {
   /// Edge-cost model for route selection when a topology is set: expected
   /// time per delivered pair by default (cycle / (p_succ * pairs)).
   bool route_by_hops = false;
+  /// Fault & drift scenario applied per trial (see scenario/scenario.hpp).
+  /// Null (the default) is the stationary fabric, bit-identical to builds
+  /// without the scenario layer. Requires a topology: scenarios target
+  /// physical edges (use net::Topology::all_to_all for the legacy shape).
+  std::shared_ptr<const scenario::Scenario> scenario;
 
   /// Convenience: wrap `topo` for the shared `topology` slot.
   void set_topology(net::Topology topo) {
     topology = std::make_shared<const net::Topology>(std::move(topo));
+  }
+
+  /// Convenience: wrap `scn` for the shared `scenario` slot.
+  void set_scenario(scenario::Scenario scn) {
+    scenario = std::make_shared<const scenario::Scenario>(std::move(scn));
   }
 
   /// EPR pairs consumed per remote gate under the selected implementation

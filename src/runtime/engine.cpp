@@ -19,6 +19,7 @@
 #include "sched/remote_gates.hpp"
 #include "sched/segmentation.hpp"
 #include "sched/variants.hpp"
+#include "scenario/runtime.hpp"
 
 namespace dqcsim::runtime {
 
@@ -125,6 +126,10 @@ struct RunContext::State {
     std::size_t gate = 0;
     des::SimTime ready_at = 0.0;
     std::array<des::SimTime, kMaxPairsPerGate> births{};
+    /// Fidelity each pair had at its birth instant. Equals the link's f0 on
+    /// a stationary fabric; under a scenario it captures the drifted value,
+    /// so consumption-time decay is exact even after drift or a reroute.
+    std::array<double, kMaxPairsPerGate> birth_f0{};
     std::uint32_t num_births = 0;
   };
 
@@ -168,6 +173,15 @@ struct RunContext::State {
     int node_b = 0;
     int hops = 1;               ///< physical edges backing the pair
     double extra_latency = 0.0; ///< swap-chain delay per consuming gate
+
+    // Fault-scenario route state (maintained only while a scenario is
+    // active; see apply_scen_boundary). Structural parameters (capacities,
+    // cycle time) stay frozen at the t=0 composition for the whole trial —
+    // endpoint hardware is the binding resource — while the path, p_succ,
+    // and f0 follow the live route.
+    std::vector<std::size_t> route_edges;  ///< physical edges, route order
+    bool route_up = true;                  ///< false while no live route
+    des::SimTime down_since = 0.0;         ///< when the route was lost
   };
   std::vector<LinkState> links;
   std::vector<int> link_of_pair;  // [a * num_nodes + b] -> index or -1
@@ -212,6 +226,19 @@ struct RunContext::State {
     net::Router router;
   };
   RouteCache route_cache;
+
+  // --- fault-scenario state (config.scenario; see src/scenario/) -----------
+  // Outage boundaries are engine-pushed events (scheduled lazily, one at a
+  // time, from the ScenarioRuntime's boundary stream); drift needs no
+  // events at all — the generation services pull effective parameters at
+  // their own window boundaries through link_effective.
+  scenario::ScenarioRuntime scen;
+  bool scen_active = false;
+  std::uint64_t scen_epoch = 0;    ///< invalidates stale boundary events
+  std::vector<char> scen_edge_up;  ///< current up mask, per topology edge
+  bool scen_any_down = false;      ///< any entry of scen_edge_up is 0
+  net::Router scen_router;         ///< masked router while any edge is down
+  std::vector<double> scen_hop_f0; ///< scratch for route f0 composition
 
   // --- adaptive scheduling state (per trial) --------------------------------
   std::size_t next_segment = 0;  ///< index of the next segment to admit
@@ -363,6 +390,18 @@ struct RunContext::State {
     rng = Rng(seed);
     sim.reset();
 
+    // Arm the fault scenario for this trial. A genuinely empty scenario is
+    // treated as absent, keeping the stationary fast path; the schedule is
+    // derived from the trial seed (never from `rng`), so enabling a
+    // scenario cannot perturb the generation stream's draws.
+    ++scen_epoch;
+    scen_active = config.scenario != nullptr && !config.scenario->empty();
+    if (scen_active) {
+      scen.begin_trial(*config.scenario, *config.topology, seed);
+      scen_edge_up.assign(config.topology->num_edges(), 1);
+      scen_any_down = false;
+    }
+
     // Cache-hit resolution: the same Circuit object hits on pointer
     // identity alone, keeping the per-trial cost O(1) (a circuit must not
     // be mutated in place between execute() calls). A *different* address
@@ -466,6 +505,110 @@ struct RunContext::State {
     }
     route_cache.router = net::Router(topo, route_cache.edge_costs);
     route_cache.valid = true;
+  }
+
+  // --- fault scenario (drift, outages, re-routing) --------------------------
+
+  /// Effective end-to-end parameters of a logical link at time `t`: per-hop
+  /// base values from the route cache, scaled by the scenario and composed
+  /// exactly like net::compose_route (same product order for p_succ, same
+  /// weight fold via swap_composed_fidelity for f0), so unit scales
+  /// reproduce the stationary composition bit-for-bit.
+  ent::EffectiveLink link_effective(const LinkState& link, des::SimTime t) {
+    ent::EffectiveLink eff;
+    eff.up = link.route_up;
+    double p = 1.0;
+    scen_hop_f0.clear();
+    for (const std::size_t e : link.route_edges) {
+      // Window completions can share an instant with a boundary event in
+      // either order; asking the schedule directly keeps `up` exact.
+      if (!scen.edge_up(e, t)) eff.up = false;
+      const ent::LinkParams& ep = route_cache.edge_params[e];
+      p *= scen.effective_p_succ(e, ep.p_succ, t);
+      scen_hop_f0.push_back(scen.effective_f0(e, ep.f0, t));
+    }
+    eff.p_succ = p;
+    eff.f0 = net::swap_composed_fidelity(
+        scen_hop_f0.data(), scen_hop_f0.size(),
+        route_cache.inputs.swap.bsm_fidelity);
+    return eff;
+  }
+
+  /// Re-evaluate one logical link's route at an outage boundary: adopt the
+  /// surviving path (counting a reroute on any route re-establishment —
+  /// a path change while live, or a recovery after downtime) or mark the
+  /// link down when no path survives.
+  void update_link_route(LinkState& link, double t) {
+    const net::Router& router =
+        scen_any_down ? scen_router : route_cache.router;
+    if (!router.has_route(link.node_a, link.node_b)) {
+      if (link.route_up) {
+        link.route_up = false;
+        link.down_since = t;
+      }
+      return;
+    }
+    const net::Route& route = router.route(link.node_a, link.node_b);
+    const bool path_changed =
+        link.route_edges.size() != route.edges.size() ||
+        !std::equal(route.edges.begin(), route.edges.end(),
+                    link.route_edges.begin());
+    if (link.route_up && !path_changed) return;
+    if (!link.route_up) {
+      result.outage_downtime += t - link.down_since;
+      link.route_up = true;
+    }
+    ++result.reroutes;
+    if (path_changed) {
+      link.route_edges.assign(route.edges.begin(), route.edges.end());
+      link.hops = route.hops();
+      link.extra_latency = static_cast<double>(link.hops - 1) *
+                           route_cache.inputs.swap.latency;
+    }
+  }
+
+  /// Recompute the edge up/down mask at boundary time `t` and re-route
+  /// every logical link whose state it affects. Spurious boundaries
+  /// (overlapping outage windows) change nothing and return early. Rebuilds
+  /// the masked router when edges are down — an allocation, but outage
+  /// boundaries are rare relative to simulation events, so the steady-state
+  /// trial loop stays allocation-free.
+  void apply_scen_boundary(double t) {
+    bool changed = false;
+    bool any_down = false;
+    for (std::size_t e = 0; e < scen_edge_up.size(); ++e) {
+      const char up = scen.edge_up(e, t) ? 1 : 0;
+      if (up != scen_edge_up[e]) changed = true;
+      scen_edge_up[e] = up;
+      if (!up) any_down = true;
+    }
+    if (!changed) return;
+    scen_any_down = any_down;
+    if (any_down) {
+      scen_router =
+          net::Router(*config.topology, route_cache.edge_costs, scen_edge_up);
+    }
+    bool any_lost = false;
+    for (auto& link : links) {
+      const bool was_up = link.route_up;
+      update_link_route(link, t);
+      if (was_up && !link.route_up) any_lost = true;
+    }
+    if (any_lost) ++result.outage_events;
+  }
+
+  /// Schedule the next outage boundary as a simulation event (lazily, one
+  /// at a time: the stochastic schedule is unbounded, and sim.reset()
+  /// between trials discards whatever was left pending).
+  void schedule_next_scen_boundary(double t) {
+    const std::optional<double> next = scen.next_boundary(t);
+    if (!next) return;
+    const double when = *next;
+    sim.schedule_at(when, [this, when, epoch = scen_epoch] {
+      if (epoch != scen_epoch) return;
+      apply_scen_boundary(when);
+      schedule_next_scen_boundary(when);
+    });
   }
 
   // --- helpers --------------------------------------------------------------
@@ -634,19 +777,20 @@ struct RunContext::State {
   }
 
   /// Werner-decayed fidelities of collected pairs at the current instant,
-  /// recording their ages. Decay starts from the serving link's effective
-  /// fresh fidelity (swap-composed on routed links; the architecture-wide
-  /// f0 on homogeneous ones). Returns the reusable scratch buffer.
+  /// recording their ages. Each pair decays from its own birth fidelity
+  /// (the serving link's effective fresh fidelity at the birth instant:
+  /// swap-composed on routed links, drift-scaled under a scenario, the
+  /// architecture-wide f0 on homogeneous stationary ones). Returns the
+  /// reusable scratch buffer.
   const std::vector<double>& decay_births(const LinkState& link,
-                                          const des::SimTime* births,
-                                          std::size_t count) {
+                                          const PendingRemote& req) {
     const ent::LinkParams& lp = link.service->params();
     scratch_raw.clear();
-    for (std::size_t i = 0; i < count; ++i) {
-      const double age = sim.now() - births[i];
+    for (std::size_t i = 0; i < req.num_births; ++i) {
+      const double age = sim.now() - req.births[i];
       pair_age_acc.add(age);
       scratch_raw.push_back(
-          noise::werner_decayed_fidelity(lp.f0, lp.kappa, age));
+          noise::werner_decayed_fidelity(req.birth_f0[i], lp.kappa, age));
     }
     return scratch_raw;
   }
@@ -756,13 +900,14 @@ struct RunContext::State {
       for (std::size_t i = 0; i < needed; ++i) {
         auto pair = link.service->buffer().pop(sim.now(), order);
         DQCSIM_ENSURES(pair.has_value());
-        req.births[req.num_births++] = pair->deposited;
+        req.births[req.num_births] = pair->deposited;
+        req.birth_f0[req.num_births] = pair->f0;
+        ++req.num_births;
       }
       // Each consumed end-to-end pair carried hops - 1 entanglement swaps.
       result.entanglement_swaps +=
           static_cast<std::size_t>(link.hops - 1) * needed;
-      const auto* logical =
-          maybe_purify(decay_births(link, req.births.data(), req.num_births));
+      const auto* logical = maybe_purify(decay_births(link, req));
       if (logical == nullptr) {
         // Purification failed: pairs are lost, the gate retries from the
         // head of the queue (the buffer shrank, so this loop terminates).
@@ -790,13 +935,16 @@ struct RunContext::State {
   bool on_demand_arrival(LinkState& link, des::SimTime now) {
     if (link.pending.empty()) return false;
     PendingRemote& req = link.pending.front();
+    // A heralded pair is born right now; under a scenario its birth
+    // fidelity is the link's effective value at this instant.
+    req.birth_f0[req.num_births] =
+        scen_active ? link_effective(link, now).f0 : link.service->params().f0;
     req.births[req.num_births++] = now;
     result.entanglement_swaps += static_cast<std::size_t>(link.hops - 1);
     if (static_cast<int>(req.num_births) < config.pairs_per_remote_gate()) {
       return true;  // claimed and held; wait for the next herald
     }
-    const auto* logical =
-        maybe_purify(decay_births(link, req.births.data(), req.num_births));
+    const auto* logical = maybe_purify(decay_births(link, req));
     if (logical == nullptr) {
       req.num_births = 0;  // pairs lost; keep collecting
       return true;
@@ -832,19 +980,29 @@ struct RunContext::State {
         flat_params = config.link_params(design);
       }
       for (auto& link : links) {
+        LinkState* link_ptr = &link;
         if (routed) {
+          const net::Route& route =
+              route_cache.router.route(link.node_a, link.node_b);
           const net::RoutedLink rl = net::compose_route(
-              route_cache.router.route(link.node_a, link.node_b),
-              route_cache.edge_params, route_cache.inputs.swap);
+              route, route_cache.edge_params, route_cache.inputs.swap);
           link.service->reset(rl.params, mode);
           link.hops = rl.hops;
           link.extra_latency = rl.extra_latency;
+          if (scen_active) {
+            link.route_edges.assign(route.edges.begin(), route.edges.end());
+            link.route_up = true;
+            link.down_since = 0.0;
+            link.service->set_effective_provider(
+                [this, link_ptr](des::SimTime t) {
+                  return link_effective(*link_ptr, t);
+                });
+          }
         } else {
           link.service->reset(flat_params, mode);
           link.hops = 1;
           link.extra_latency = 0.0;
         }
-        LinkState* link_ptr = &link;
         if (mode == ent::ServiceMode::Buffered) {
           link.service->set_arrival_handler([this, link_ptr](des::SimTime) {
             try_serve_pending(*link_ptr);
@@ -858,6 +1016,12 @@ struct RunContext::State {
         }
         if (design_uses_prefill(design)) link.service->pre_fill_buffer();
         link.service->start();
+      }
+      // Apply any outage already in force at t = 0, then start the lazy
+      // boundary event chain.
+      if (scen_active) {
+        apply_scen_boundary(0.0);
+        schedule_next_scen_boundary(0.0);
       }
     }
 
@@ -883,6 +1047,16 @@ struct RunContext::State {
                          "simulation stalled with unfinished gates");
     }
     for (auto& link : links) link.service->stop();
+
+    // Links still routeless when the last gate completes accrue their
+    // downtime up to the makespan (the reported trial duration).
+    if (scen_active) {
+      for (const auto& link : links) {
+        if (!link.route_up) {
+          result.outage_downtime += std::max(0.0, makespan - link.down_since);
+        }
+      }
+    }
 
     // Figures of merit.
     ledger.add_idling(config.kappa, makespan);

@@ -11,6 +11,8 @@ void AggregateResult::add(const RunResult& run) {
   avg_remote_wait.add(run.avg_remote_wait);
   entanglement_swaps.add(static_cast<double>(run.entanglement_swaps));
   avg_route_hops.add(run.avg_route_hops);
+  reroutes.add(static_cast<double>(run.reroutes));
+  outage_downtime.add(run.outage_downtime);
 }
 
 }  // namespace dqcsim::runtime

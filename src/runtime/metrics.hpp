@@ -39,6 +39,19 @@ struct RunResult {
   /// consumed pair crossed a direct physical link, 0 with no remote gates.
   double avg_route_hops = 0.0;
 
+  // Fault-scenario accounting (ArchConfig::scenario; see src/scenario/).
+  /// Route re-establishments over the trial: a logical link switching to a
+  /// surviving path while live, or coming back up after downtime (on a new
+  /// path or the recovered original). Counting recoveries keeps the metric
+  /// meaningful on topologies with a unique path — a chain can only ever
+  /// restore, never detour.
+  std::size_t reroutes = 0;
+  /// Outage boundaries at which at least one logical link lost its route.
+  std::size_t outage_events = 0;
+  /// Summed time logical links spent without a live route (time units;
+  /// a boundary taking two links down for 5 units accrues 10).
+  double outage_downtime = 0.0;
+
   // Adaptive-controller decisions (adapt_buf / init_buf only).
   std::size_t segments_asap = 0;
   std::size_t segments_alap = 0;
@@ -59,6 +72,8 @@ struct AggregateResult {
   Accumulator avg_remote_wait;
   Accumulator entanglement_swaps;
   Accumulator avg_route_hops;
+  Accumulator reroutes;
+  Accumulator outage_downtime;
 
   /// Fold one run into the aggregate.
   void add(const RunResult& run);

@@ -141,6 +141,27 @@ TEST(Accumulator, EmptyDefaults) {
   EXPECT_EQ(acc.stderr_mean(), 0.0);
 }
 
+TEST(Accumulator, EmptyExtremaAreFiniteZero) {
+  // Regression: an empty accumulator used to leak its ±inf sentinels
+  // through min()/max() into bench reports, where the JSON writer has no
+  // representation for non-finite doubles and emitted `null` — crashing
+  // the CI regression gate. Empty extrema are now 0 (count() == 0
+  // distinguishes "no data" from a genuine 0 observation).
+  Accumulator acc;
+  EXPECT_EQ(acc.min(), 0.0);
+  EXPECT_EQ(acc.max(), 0.0);
+  EXPECT_TRUE(std::isfinite(acc.min()));
+  EXPECT_TRUE(std::isfinite(acc.max()));
+  // Adding data restores real extrema; going through merge keeps them.
+  acc.add(-2.5);
+  EXPECT_DOUBLE_EQ(acc.min(), -2.5);
+  EXPECT_DOUBLE_EQ(acc.max(), -2.5);
+  Accumulator empty;
+  acc.merge(empty);
+  EXPECT_DOUBLE_EQ(acc.min(), -2.5);
+  EXPECT_DOUBLE_EQ(acc.max(), -2.5);
+}
+
 TEST(Accumulator, MeanAndVarianceKnownSample) {
   Accumulator acc;
   for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
