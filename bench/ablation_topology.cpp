@@ -12,10 +12,14 @@
 /// (runtime::partition_circuit(circuit, topology)): heavily communicating
 /// parts land on adjacent QPUs.
 ///
-/// Caveat: routed logical links do not share physical-edge capacity (see
+/// Caveat: this sweep runs the legacy independent-budget engine, where
+/// routed logical links do not share physical-edge capacity (see
 /// net/swap.hpp), so the sparse-topology numbers are optimistic for
 /// congestion-prone shapes — the star hub and chain bottleneck rows show
 /// the routing/fidelity cost, not queueing contention on shared edges.
+/// The opt-in ArchConfig knobs (share_edge_capacity, swap_as_you_go)
+/// model the contention and the buffered delivery that removes the
+/// chain@16 p_succ^hops cliff; ablation_congestion.cpp measures both.
 
 #include <iostream>
 #include <string>

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Fail on dead intra-repo markdown links.
+
+Usage: check_links.py FILE_OR_DIR [FILE_OR_DIR ...]
+
+Scans the given markdown files (directories are walked for *.md) for inline
+links and images, `[text](target)`, and verifies every relative target:
+
+  - the referenced path must exist (resolved against the linking file's
+    directory, queried case-sensitively even on case-insensitive
+    filesystems so CI and macOS agree with Linux);
+  - a `#fragment` on a markdown target must match a heading in the
+    referenced file, using GitHub's anchor slug rules (lowercase, spaces
+    to dashes, punctuation stripped, duplicate slugs numbered);
+  - a bare `#fragment` is checked against the linking file itself.
+
+External schemes (http:, https:, mailto:) are ignored — availability of
+the outside world is not a property of this repository. Links inside
+fenced code blocks and inline code spans are ignored too.
+
+Exit status: 0 when every link resolves, 1 otherwise (each dead link is
+reported as file:line).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\))?[^()\s]*)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+FENCE = re.compile(r"^(```|~~~)")
+CODE_SPAN = re.compile(r"`[^`]*`")
+EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def gather_files(args: list[str]) -> list[str]:
+    files: list[str] = []
+    for arg in args:
+        if os.path.isdir(arg):
+            for root, _dirs, names in os.walk(arg):
+                files.extend(
+                    os.path.join(root, n)
+                    for n in sorted(names)
+                    if n.endswith(".md")
+                )
+        else:
+            files.append(arg)
+    return files
+
+
+def github_slug(heading: str, seen: dict[str, int]) -> str:
+    """GitHub's heading-to-anchor rule, including duplicate numbering."""
+    text = CODE_SPAN.sub(lambda m: m.group(0).strip("`"), heading)
+    text = re.sub(r"[!\[\]]|\(([^()]*)\)", r"\1", text)  # strip md links
+    slug = text.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug, flags=re.UNICODE)
+    slug = slug.replace(" ", "-")
+    n = seen.get(slug, 0)
+    seen[slug] = n + 1
+    return slug if n == 0 else f"{slug}-{n}"
+
+
+def anchors_of(path: str, cache: dict[str, set[str]]) -> set[str]:
+    if path not in cache:
+        slugs: set[str] = set()
+        seen: dict[str, int] = {}
+        in_fence = False
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                if FENCE.match(line):
+                    in_fence = not in_fence
+                    continue
+                if in_fence:
+                    continue
+                m = HEADING.match(line)
+                if m:
+                    slugs.add(github_slug(m.group(1), seen))
+        cache[path] = slugs
+    return cache[path]
+
+
+def path_exists_case_sensitive(path: str) -> bool:
+    """os.path.exists with each component checked against its directory
+    listing, so a mis-cased link fails here like it does on Linux."""
+    path = os.path.normpath(path)
+    parts = path.split(os.sep)
+    cur = parts[0] + os.sep if path.startswith(os.sep) else "."
+    for part in parts if not path.startswith(os.sep) else parts[1:]:
+        if part in ("", "."):
+            continue
+        if part == ".." :
+            cur = os.path.normpath(os.path.join(cur, part))
+            continue
+        if not os.path.isdir(cur) or part not in os.listdir(cur):
+            return False
+        cur = os.path.join(cur, part)
+    return True
+
+
+def check_file(path: str, anchor_cache: dict[str, set[str]]) -> list[str]:
+    errors: list[str] = []
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in INLINE_LINK.findall(CODE_SPAN.sub("``", line)):
+                target = target.strip()
+                if EXTERNAL.match(target) or target.startswith("//"):
+                    continue
+                ref, _, fragment = target.partition("#")
+                if ref:
+                    dest = os.path.normpath(
+                        os.path.join(os.path.dirname(path) or ".", ref)
+                    )
+                else:
+                    dest = path  # bare #fragment: this file
+                if not path_exists_case_sensitive(dest):
+                    errors.append(f"{path}:{lineno}: dead link: {target}")
+                    continue
+                if fragment and dest.endswith(".md"):
+                    if fragment.lower() not in anchors_of(dest, anchor_cache):
+                        errors.append(
+                            f"{path}:{lineno}: dead anchor: {target}"
+                        )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    files = gather_files(argv[1:])
+    anchor_cache: dict[str, set[str]] = {}
+    errors: list[str] = []
+    for path in files:
+        errors.extend(check_file(path, anchor_cache))
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(
+        f"checked {len(files)} markdown file(s): "
+        + (f"{len(errors)} dead link(s)" if errors else "all links resolve")
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,122 @@
+#include "net/congestion.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace dqcsim::net {
+
+int capacity_share(int capacity, int load, int rank) {
+  DQCSIM_EXPECTS(load >= 1 && rank >= 0 && rank < load);
+  if (capacity <= 0) return capacity;
+  const int share = capacity / load + (rank < capacity % load ? 1 : 0);
+  return std::max(1, share);
+}
+
+void CongestionPlanner::begin(const Topology& topo,
+                              const std::vector<double>& static_costs,
+                              double alpha,
+                              const std::vector<char>* edge_enabled) {
+  DQCSIM_EXPECTS_MSG(static_costs.size() == topo.num_edges(),
+                     "one static cost per topology edge");
+  DQCSIM_EXPECTS_MSG(alpha >= 0.0, "congestion alpha must be nonnegative");
+  topo_ = &topo;
+  costs_ = &static_costs;
+  enabled_ = edge_enabled;
+  alpha_ = alpha;
+  load_.assign(topo.num_edges(), 0);
+
+  const auto n = static_cast<std::size_t>(topo.num_nodes());
+  incident_.resize(n);
+  for (auto& inc : incident_) inc.clear();
+  for (std::size_t e = 0; e < topo.num_edges(); ++e) {
+    if (enabled_ != nullptr && !(*enabled_)[e]) continue;
+    const TopologyEdge& edge = topo.edge(e);
+    incident_[static_cast<std::size_t>(edge.a)].push_back({e, edge.b});
+    incident_[static_cast<std::size_t>(edge.b)].push_back({e, edge.a});
+  }
+  dist_.resize(n);
+  pred_node_.resize(n);
+  pred_edge_.resize(n);
+  done_.resize(n);
+}
+
+bool CongestionPlanner::find_route(int src, int dst,
+                                   const std::vector<char>* exclude,
+                                   Route& out) {
+  const int n = topo_->num_nodes();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::fill(dist_.begin(), dist_.end(), kInf);
+  std::fill(pred_node_.begin(), pred_node_.end(), -1);
+  std::fill(done_.begin(), done_.end(), 0);
+  dist_[static_cast<std::size_t>(src)] = 0.0;
+
+  // O(n^2) scan like net::Router: node-selection order — and therefore the
+  // chosen path — is deterministic, with strict-improvement tie-breaks.
+  for (int round = 0; round < n; ++round) {
+    int u = -1;
+    for (int v = 0; v < n; ++v) {
+      const auto uv = static_cast<std::size_t>(v);
+      if (done_[uv] || dist_[uv] == kInf) continue;
+      if (u == -1 || dist_[uv] < dist_[static_cast<std::size_t>(u)]) u = v;
+    }
+    if (u == -1) break;
+    const auto uu = static_cast<std::size_t>(u);
+    done_[uu] = 1;
+    if (u == dst) break;
+    for (const auto& [e, other] : incident_[uu]) {
+      if (exclude != nullptr && (*exclude)[e]) continue;
+      const auto uo = static_cast<std::size_t>(other);
+      // Load-scaled cost: previously placed traffic makes the edge pricier.
+      const double scaled =
+          (*costs_)[e] * (1.0 + alpha_ * static_cast<double>(load_[e]));
+      const double cand = dist_[uu] + scaled;
+      if (cand < dist_[uo]) {
+        dist_[uo] = cand;
+        pred_node_[uo] = u;
+        pred_edge_[uo] = e;
+      }
+    }
+  }
+
+  out.nodes.clear();
+  out.edges.clear();
+  out.cost = 0.0;
+  const auto ud = static_cast<std::size_t>(dst);
+  if (dist_[ud] == kInf) return false;
+  out.cost = dist_[ud];
+  for (int v = dst; v != src; v = pred_node_[static_cast<std::size_t>(v)]) {
+    out.nodes.push_back(v);
+    out.edges.push_back(pred_edge_[static_cast<std::size_t>(v)]);
+  }
+  out.nodes.push_back(src);
+  std::reverse(out.nodes.begin(), out.nodes.end());
+  std::reverse(out.edges.begin(), out.edges.end());
+  return true;
+}
+
+void CongestionPlanner::plan(int a, int b, bool split_tied, RoutePlan& plan) {
+  DQCSIM_EXPECTS(topo_ != nullptr);
+  DQCSIM_EXPECTS(a != b && a >= 0 && b >= 0 && a < topo_->num_nodes() &&
+                 b < topo_->num_nodes());
+  plan.split = false;
+  plan.has_route = find_route(a, b, nullptr, plan.primary);
+  if (!plan.has_route) return;
+  if (split_tied) {
+    exclude_scratch_.assign(topo_->num_edges(), 0);
+    for (const std::size_t e : plan.primary.edges) exclude_scratch_[e] = 1;
+    if (find_route(a, b, &exclude_scratch_, plan.alternate) &&
+        plan.alternate.cost <= plan.primary.cost * (1.0 + 1e-9)) {
+      plan.split = true;
+    }
+  }
+  charge(plan.primary);
+  if (plan.split) charge(plan.alternate);
+}
+
+void CongestionPlanner::charge(const Route& route) {
+  for (const std::size_t e : route.edges) ++load_[e];
+}
+
+}  // namespace dqcsim::net

@@ -26,10 +26,19 @@ double swap_composed_fidelity(const double* hop_f0, std::size_t count,
 RoutedLink compose_route(const Route& route,
                          const std::vector<ent::LinkParams>& edge_params,
                          const SwapParams& swap) {
+  return compose_route_shared(route, edge_params, swap, nullptr, nullptr);
+}
+
+RoutedLink compose_route_shared(const Route& route,
+                                const std::vector<ent::LinkParams>& edge_params,
+                                const SwapParams& swap, const int* hop_comm,
+                                const int* hop_buffer) {
   DQCSIM_EXPECTS_MSG(route.hops() >= 1, "a route needs at least one hop");
   RoutedLink out;
   out.hops = route.hops();
   out.params = edge_params.at(route.edges[0]);
+  if (hop_comm != nullptr) out.params.num_comm_pairs = hop_comm[0];
+  if (hop_buffer != nullptr) out.params.buffer_capacity = hop_buffer[0];
 
   // Weight fold mirrors swap_composed_fidelity term-for-term, so the
   // engine's composed f0 is bit-equal to the documented helper (enforced
@@ -39,9 +48,11 @@ RoutedLink compose_route(const Route& route,
   for (std::size_t i = 1; i < route.edges.size(); ++i) {
     const ent::LinkParams& hop = edge_params.at(route.edges[i]);
     out.params.num_comm_pairs =
-        std::min(out.params.num_comm_pairs, hop.num_comm_pairs);
+        std::min(out.params.num_comm_pairs,
+                 hop_comm != nullptr ? hop_comm[i] : hop.num_comm_pairs);
     out.params.buffer_capacity =
-        std::min(out.params.buffer_capacity, hop.buffer_capacity);
+        std::min(out.params.buffer_capacity,
+                 hop_buffer != nullptr ? hop_buffer[i] : hop.buffer_capacity);
     out.params.p_succ *= hop.p_succ;
     out.params.cycle_time = std::max(out.params.cycle_time, hop.cycle_time);
     out.params.swap_latency =

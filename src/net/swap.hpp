@@ -16,13 +16,20 @@
 ///  - extra latency = (hops - 1) swaps' local operations, serial along the
 ///                 chain, charged when a remote gate consumes the pair.
 ///
-/// Modeling assumption — no capacity sharing between routes: every routed
-/// logical node pair is backed by an *independent* effective link, so two
-/// routes crossing the same physical edge each draw the edge's full
-/// per-edge budget concurrently. Results on congestion-prone shapes (star
-/// hubs, chain bottlenecks) are therefore optimistic; a swap-as-you-go
-/// model with per-edge services shared between routes is the planned
-/// refinement (see ROADMAP "Dynamic routing").
+/// Capacity sharing between routes: by default (the legacy escape hatch)
+/// every routed logical node pair is backed by an *independent* effective
+/// link, so two routes crossing the same physical edge each draw the
+/// edge's full per-edge budget concurrently — optimistic on congestion-
+/// prone shapes (star hubs, chain bottlenecks). Opting into
+/// ArchConfig::share_edge_capacity splits each contended edge's budget
+/// into deterministic per-route shares (compose_route_shared below, shares
+/// from net::capacity_share), and ArchConfig::swap_as_you_go replaces the
+/// composed model entirely with one buffered generation service per
+/// physical edge — routes then contend dynamically for a common buffer and
+/// pairs are fused on demand at the intermediate nodes, escaping this
+/// file's all-hops-in-one-window p_succ^hops success model. Remaining
+/// follow-up: purification at intermediate swap nodes (today purification
+/// runs only on the assembled end-to-end pairs; see ROADMAP).
 
 #pragma once
 
@@ -76,5 +83,19 @@ struct RoutedLink {
 RoutedLink compose_route(const Route& route,
                          const std::vector<ent::LinkParams>& edge_params,
                          const SwapParams& swap);
+
+/// compose_route with explicit per-hop capacity grants: hop k contributes
+/// hop_comm[k] communication pairs and hop_buffer[k] buffer slots instead
+/// of its full per-edge budget — the share a route receives when an edge's
+/// capacity is split between the concurrent routes crossing it (see
+/// net::capacity_share in congestion.hpp). A null grant array falls back
+/// to the full budgets; compose_route delegates here with both null, so
+/// the two entry points fold every resource in the same order and the
+/// composed f0 stays bit-identical.
+/// Preconditions: as compose_route; non-null arrays cover route.hops().
+RoutedLink compose_route_shared(const Route& route,
+                                const std::vector<ent::LinkParams>& edge_params,
+                                const SwapParams& swap, const int* hop_comm,
+                                const int* hop_buffer);
 
 }  // namespace dqcsim::net

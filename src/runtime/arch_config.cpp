@@ -45,6 +45,9 @@ void ArchConfig::validate() const {
   if (!(fid.epr_f0 >= 0.25 && fid.epr_f0 <= 1.0)) {
     throw ConfigError("ArchConfig: EPR fidelity must be in [0.25, 1]");
   }
+  if (congestion_alpha < 0.0) {
+    throw ConfigError("ArchConfig: congestion_alpha must be nonnegative");
+  }
   if (topology) {
     topology->validate();
     if (topology->num_nodes() != num_nodes) {

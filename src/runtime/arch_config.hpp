@@ -112,6 +112,43 @@ struct ArchConfig {
   /// physical edges (use net::Topology::all_to_all for the legacy shape).
   std::shared_ptr<const scenario::Scenario> scenario;
 
+  // --- Congestion & shared-capacity modes (see net/congestion.hpp and
+  // docs/ARCHITECTURE.md). All default off: the legacy independent-budget
+  // engine is the escape hatch and stays bit-identical until opted in.
+  // Each knob needs a topology; without one they are silent no-ops (the
+  // homogeneous all-to-all interconnect has no shared edges to contend).
+
+  /// Share each physical edge's generation budget between the routes
+  /// crossing it: every route receives a deterministic near-even slice of
+  /// the edge's comm/buffer capacity (floor + remainder by route creation
+  /// rank, clamped to >= 1; see net::capacity_share) instead of drawing
+  /// the full per-edge budget. Shares are assigned at t=0 and stay frozen
+  /// for the trial, matching the frozen structural composition.
+  bool share_edge_capacity = false;
+  /// Select routes sequentially (in first-traffic creation order) over
+  /// load-scaled edge costs, cost(e) = static_cost(e) *
+  /// (1 + congestion_alpha * load(e)), so later traffic detours around
+  /// edges earlier traffic saturated. Applied at t=0 placement and again
+  /// at every outage/recovery boundary — detours then contend too.
+  bool congestion_aware_routing = false;
+  /// Load-scaling strength of congestion_aware_routing (>= 0; 0 degrades
+  /// to static costs with deterministic sequential tie-breaks).
+  double congestion_alpha = 1.0;
+  /// With congestion_aware_routing + swap_as_you_go, split a link's
+  /// traffic across two edge-disjoint paths whose scaled costs tie: a
+  /// remote gate is served by whichever path first buffers its full pair
+  /// quota.
+  bool split_tied_routes = true;
+  /// Swap-as-you-go delivery for the buffered designs on a topology: one
+  /// generation service per *physical edge* buffers pairs at intermediate
+  /// swap nodes, and an end-to-end pair is fused on demand from one
+  /// buffered pair per hop — escaping the composed model's punishing
+  /// all-hops-in-one-window p_succ^hops success law. Edge budgets are
+  /// inherently shared between the routes draining a common buffer. The
+  /// bufferless original design has nowhere to hold hop pairs and falls
+  /// back to the composed model.
+  bool swap_as_you_go = false;
+
   /// Convenience: wrap `topo` for the shared `topology` slot.
   void set_topology(net::Topology topo) {
     topology = std::make_shared<const net::Topology>(std::move(topo));

@@ -10,6 +10,7 @@
 #include "common/rng.hpp"
 #include "des/simulator.hpp"
 #include "ent/generation_service.hpp"
+#include "net/congestion.hpp"
 #include "net/router.hpp"
 #include "net/swap.hpp"
 #include "noise/fidelity_ledger.hpp"
@@ -226,6 +227,31 @@ struct RunContext::State {
     net::Router router;
   };
   RouteCache route_cache;
+
+  // --- congestion / shared-capacity machinery (opt-in ArchConfig knobs;
+  // see net/congestion.hpp). Trial-scoped: plans are recomputed at t=0 and
+  // at outage boundaries; every container is reused across trials so the
+  // steady-state loop stays allocation-free.
+  net::CongestionPlanner planner;
+  std::vector<net::RoutePlan> link_plans;  ///< parallel to links
+  std::vector<int> edge_rank;              ///< next share rank per edge
+  std::vector<int> hop_comm_scratch;       ///< per-hop comm share
+  std::vector<int> hop_buf_scratch;        ///< per-hop buffer share
+  std::vector<double> hop_fid_scratch;     ///< swap-as-you-go hop fidelities
+  /// Swap-as-you-go: one buffered generation service per *physical edge*
+  /// (every topology edge generates continuously — unrouted edges waste
+  /// their successes into a full buffer, which is what idle hardware does).
+  std::vector<std::unique_ptr<ent::GenerationService>> edge_services;
+  /// Links whose current plan crosses each edge, in link creation order:
+  /// the deterministic arbitration order for pairs deposited on that edge.
+  std::vector<std::vector<int>> links_on_edge;
+  bool use_swap_go = false;      ///< this trial runs per-edge services
+  bool use_shared_caps = false;  ///< composed links get capacity shares
+  bool use_congestion = false;   ///< routes picked by load-scaled costs
+
+  bool contended() const noexcept {
+    return use_swap_go || use_shared_caps || use_congestion;
+  }
 
   // --- fault-scenario state (config.scenario; see src/scenario/) -----------
   // Outage boundaries are engine-pushed events (scheduled lazily, one at a
@@ -451,6 +477,9 @@ struct RunContext::State {
     num_completed = 0;
     makespan = 0.0;
     for (auto& link : links) link.pending.clear();
+    use_swap_go = false;
+    use_shared_caps = false;
+    use_congestion = false;
 
     ledger = noise::FidelityLedger{};
     result = RunResult{};
@@ -584,15 +613,37 @@ struct RunContext::State {
     }
     if (!changed) return;
     scen_any_down = any_down;
-    if (any_down) {
+    if (any_down && !use_congestion) {
       scen_router =
           net::Router(*config.topology, route_cache.edge_costs, scen_edge_up);
     }
     bool any_lost = false;
-    for (auto& link : links) {
-      const bool was_up = link.route_up;
-      update_link_route(link, t);
-      if (was_up && !link.route_up) any_lost = true;
+    if (contended()) {
+      // Re-plan every route over the surviving subgraph — with congestion
+      // routing the detours contend again (load-scaled costs), otherwise
+      // the masked static routes are adopted.
+      plan_all_routes(&scen_edge_up);
+      if (use_swap_go) rebuild_links_on_edge();
+      for (std::size_t i = 0; i < links.size(); ++i) {
+        const bool was_up = links[i].route_up;
+        update_link_from_plan(i, t);
+        if (was_up && !links[i].route_up) any_lost = true;
+      }
+      if (use_swap_go) {
+        // Deposits wasted against full buffers do not re-fire the arrival
+        // handler, so a link re-planned onto already-full edges would
+        // otherwise stall until some other deposit lands: serve everyone
+        // once against the new plans.
+        for (std::size_t i = 0; i < links.size(); ++i) {
+          try_serve_pending_swap(i);
+        }
+      }
+    } else {
+      for (auto& link : links) {
+        const bool was_up = link.route_up;
+        update_link_route(link, t);
+        if (was_up && !link.route_up) any_lost = true;
+      }
     }
     if (any_lost) ++result.outage_events;
   }
@@ -611,9 +662,301 @@ struct RunContext::State {
     });
   }
 
+  // --- congestion-aware planning & swap-as-you-go (opt-in modes) ------------
+
+  /// (Re)assign every logical link's physical path, in link creation order.
+  /// With congestion-aware routing each link is routed over load-scaled
+  /// costs (earlier traffic raises the cost later traffic sees); otherwise
+  /// the static all-pairs route is adopted and only the load accounting
+  /// runs (capacity shares are load-derived even under static routes).
+  /// `mask` selects the surviving subgraph during an outage; null is the
+  /// full fabric at t=0.
+  void plan_all_routes(const std::vector<char>* mask) {
+    planner.begin(*config.topology, route_cache.edge_costs,
+                  config.congestion_alpha, mask);
+    link_plans.resize(links.size());
+    const bool split = use_swap_go && config.split_tied_routes;
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      net::RoutePlan& plan = link_plans[i];
+      if (use_congestion) {
+        planner.plan(links[i].node_a, links[i].node_b, split, plan);
+        continue;
+      }
+      const net::Router& router =
+          (mask != nullptr && scen_any_down) ? scen_router
+                                             : route_cache.router;
+      plan.split = false;
+      plan.has_route = router.has_route(links[i].node_a, links[i].node_b);
+      if (!plan.has_route) continue;
+      const net::Route& r = router.route(links[i].node_a, links[i].node_b);
+      plan.primary.cost = r.cost;
+      plan.primary.nodes.assign(r.nodes.begin(), r.nodes.end());
+      plan.primary.edges.assign(r.edges.begin(), r.edges.end());
+      planner.charge(plan.primary);
+    }
+  }
+
+  /// Contention figures of the t=0 placement (RunResult accounting).
+  void record_plan_metrics() {
+    for (const int load : planner.edge_load()) {
+      if (load > 1) ++result.edges_shared;
+      result.max_edge_load =
+          std::max(result.max_edge_load, static_cast<std::size_t>(load));
+    }
+    for (const net::RoutePlan& plan : link_plans) {
+      if (plan.split) ++result.route_splits;
+    }
+  }
+
+  /// Composed-link setup for the contended modes: routes come from the
+  /// plan (congestion-selected or static) and, with share_edge_capacity,
+  /// each hop contributes only this link's capacity share. Shares are
+  /// assigned by creation rank on each edge — deterministic and frozen at
+  /// t=0 like the rest of the structural composition.
+  void setup_composed_links(ent::ServiceMode mode) {
+    edge_rank.assign(config.topology->num_edges(), 0);
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      LinkState& link = links[i];
+      LinkState* link_ptr = &link;
+      const net::Route& route = link_plans[i].primary;
+      const std::size_t hops = route.edges.size();
+      hop_comm_scratch.resize(hops);
+      hop_buf_scratch.resize(hops);
+      for (std::size_t k = 0; k < hops; ++k) {
+        const std::size_t e = route.edges[k];
+        const ent::LinkParams& ep = route_cache.edge_params[e];
+        if (use_shared_caps) {
+          const int load = planner.edge_load()[e];
+          const int rank = edge_rank[e]++;
+          hop_comm_scratch[k] =
+              net::capacity_share(ep.num_comm_pairs, load, rank);
+          hop_buf_scratch[k] =
+              net::capacity_share(ep.buffer_capacity, load, rank);
+        } else {
+          hop_comm_scratch[k] = ep.num_comm_pairs;
+          hop_buf_scratch[k] = ep.buffer_capacity;
+        }
+      }
+      const net::RoutedLink rl = net::compose_route_shared(
+          route, route_cache.edge_params, route_cache.inputs.swap,
+          hop_comm_scratch.data(), hop_buf_scratch.data());
+      link.service->reset(rl.params, mode);
+      link.hops = rl.hops;
+      link.extra_latency = rl.extra_latency;
+      if (scen_active) {
+        link.route_edges.assign(route.edges.begin(), route.edges.end());
+        link.route_up = true;
+        link.down_since = 0.0;
+        link.service->set_effective_provider(
+            [this, link_ptr](des::SimTime t) {
+              return link_effective(*link_ptr, t);
+            });
+      }
+      if (mode == ent::ServiceMode::Buffered) {
+        link.service->set_arrival_handler([this, link_ptr](des::SimTime) {
+          try_serve_pending(*link_ptr);
+          return true;
+        });
+      } else {
+        link.service->set_arrival_handler(
+            [this, link_ptr](des::SimTime now) {
+              return on_demand_arrival(*link_ptr, now);
+            });
+      }
+      if (design_uses_prefill(design)) link.service->pre_fill_buffer();
+      link.service->start();
+    }
+  }
+
+  /// Deterministic arbitration index: which links a deposit on each edge
+  /// may serve, in link creation order. Rebuilt whenever plans change.
+  void rebuild_links_on_edge() {
+    links_on_edge.resize(config.topology->num_edges());
+    for (auto& v : links_on_edge) v.clear();
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      const net::RoutePlan& plan = link_plans[i];
+      if (!plan.has_route) continue;
+      for (const std::size_t e : plan.primary.edges) {
+        links_on_edge[e].push_back(static_cast<int>(i));
+      }
+      if (plan.split) {
+        for (const std::size_t e : plan.alternate.edges) {
+          links_on_edge[e].push_back(static_cast<int>(i));
+        }
+      }
+    }
+  }
+
+  /// Swap-as-you-go setup: per-link route state from the plan, then one
+  /// buffered generation service per physical edge with the edge's full
+  /// budget (sharing is dynamic — routes drain a common buffer).
+  void setup_edge_services() {
+    const std::size_t num_edges = config.topology->num_edges();
+    if (edge_services.size() != num_edges) {
+      edge_services.clear();
+      edge_services.reserve(num_edges);
+      for (std::size_t e = 0; e < num_edges; ++e) {
+        edge_services.push_back(std::make_unique<ent::GenerationService>(
+            sim, ent::LinkParams{}, rng, ent::ServiceMode::Buffered));
+      }
+    }
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      LinkState& link = links[i];
+      const net::RoutePlan& plan = link_plans[i];
+      link.hops = plan.has_route ? plan.primary.hops() : 1;
+      link.extra_latency = static_cast<double>(link.hops - 1) *
+                           route_cache.inputs.swap.latency;
+      link.route_edges.assign(plan.primary.edges.begin(),
+                              plan.primary.edges.end());
+      link.route_up = plan.has_route;
+      link.down_since = 0.0;
+    }
+    rebuild_links_on_edge();
+    for (std::size_t e = 0; e < num_edges; ++e) {
+      ent::GenerationService& svc = *edge_services[e];
+      svc.reset(route_cache.edge_params[e], ent::ServiceMode::Buffered);
+      svc.set_arrival_handler([this, e](des::SimTime) {
+        on_edge_deposit(e);
+        return true;
+      });
+      if (scen_active) {
+        svc.set_effective_provider([this, e](des::SimTime t) {
+          const ent::LinkParams& ep = route_cache.edge_params[e];
+          ent::EffectiveLink eff;
+          eff.p_succ = scen.effective_p_succ(e, ep.p_succ, t);
+          eff.f0 = scen.effective_f0(e, ep.f0, t);
+          eff.up = scen.edge_up(e, t);
+          return eff;
+        });
+      }
+      if (design_uses_prefill(design)) svc.pre_fill_buffer();
+      svc.start();
+    }
+  }
+
+  /// Contended-mode counterpart of update_link_route: adopt link i's
+  /// freshly planned path at boundary time `t` with the same reroute /
+  /// downtime accounting semantics.
+  void update_link_from_plan(std::size_t i, double t) {
+    LinkState& link = links[i];
+    const net::RoutePlan& plan = link_plans[i];
+    if (!plan.has_route) {
+      if (link.route_up) {
+        link.route_up = false;
+        link.down_since = t;
+      }
+      return;
+    }
+    const net::Route& route = plan.primary;
+    const bool path_changed =
+        link.route_edges.size() != route.edges.size() ||
+        !std::equal(route.edges.begin(), route.edges.end(),
+                    link.route_edges.begin());
+    if (link.route_up && !path_changed) return;
+    if (!link.route_up) {
+      result.outage_downtime += t - link.down_since;
+      link.route_up = true;
+    }
+    ++result.reroutes;
+    if (path_changed) {
+      link.route_edges.assign(route.edges.begin(), route.edges.end());
+      link.hops = route.hops();
+      link.extra_latency = static_cast<double>(link.hops - 1) *
+                           route_cache.inputs.swap.latency;
+    }
+  }
+
+  /// True when every edge buffer along `path` holds the full pair quota.
+  bool path_ready(const net::Route& path, std::size_t needed) {
+    for (const std::size_t e : path.edges) {
+      if (edge_services[e]->buffer().size(sim.now()) < needed) return false;
+    }
+    return true;
+  }
+
+  /// Swap-as-you-go service of one link's queued remote gates: assemble an
+  /// end-to-end pair by popping one buffered pair per hop and fusing them
+  /// at the intermediate nodes *now*. Each hop pair decays from its own
+  /// deposit instant; the fused pair is born at the assembly instant, so
+  /// it reaches the consuming gate fresh. With a split plan a request is
+  /// served by the primary path when ready, else by the cost-tied
+  /// alternate; with neither ready it waits for the next deposit.
+  void try_serve_pending_swap(std::size_t link_index) {
+    LinkState& link = links[link_index];
+    const net::RoutePlan& plan = link_plans[link_index];
+    if (!plan.has_route) return;
+    const auto order = config.consume_freshest
+                           ? ent::ConsumeOrder::FreshestFirst
+                           : ent::ConsumeOrder::OldestFirst;
+    const auto needed =
+        static_cast<std::size_t>(config.pairs_per_remote_gate());
+    while (!link.pending.empty()) {
+      const net::Route* path = nullptr;
+      if (path_ready(plan.primary, needed)) {
+        path = &plan.primary;
+      } else if (plan.split && path_ready(plan.alternate, needed)) {
+        path = &plan.alternate;
+      } else {
+        break;
+      }
+      PendingRemote& req = link.pending.front();
+      req.num_births = 0;
+      for (std::size_t i = 0; i < needed; ++i) {
+        hop_fid_scratch.clear();
+        for (const std::size_t e : path->edges) {
+          auto pair = edge_services[e]->buffer().pop(sim.now(), order);
+          DQCSIM_ENSURES(pair.has_value());
+          const double age = sim.now() - pair->deposited;
+          pair_age_acc.add(age);
+          hop_fid_scratch.push_back(noise::werner_decayed_fidelity(
+              pair->f0, route_cache.edge_params[e].kappa, age));
+        }
+        req.births[req.num_births] = sim.now();
+        req.birth_f0[req.num_births] = net::swap_composed_fidelity(
+            hop_fid_scratch.data(), hop_fid_scratch.size(),
+            route_cache.inputs.swap.bsm_fidelity);
+        ++req.num_births;
+      }
+      result.entanglement_swaps +=
+          static_cast<std::size_t>(path->hops() - 1) * needed;
+      // The assembled pairs are born at this instant, so decay over
+      // [birth, now] is the identity: the fused fidelities feed
+      // purification directly.
+      scratch_raw.clear();
+      for (std::size_t i = 0; i < req.num_births; ++i) {
+        scratch_raw.push_back(req.birth_f0[i]);
+      }
+      const auto* logical = maybe_purify(scratch_raw);
+      if (logical == nullptr) {
+        req.num_births = 0;  // hop pairs lost; the gate retries
+        continue;
+      }
+      const std::size_t gate = req.gate;
+      remote_wait_acc.add(sim.now() - req.ready_at);
+      route_hops_acc.add(static_cast<double>(path->hops()));
+      link.pending.pop_front();
+      // start_remote_gate reads *logical before any re-entrant serve (via
+      // segment pumping) can clobber the scratch buffers it points into.
+      start_remote_gate(
+          gate, *logical,
+          static_cast<double>(path->hops() - 1) *
+                  route_cache.inputs.swap.latency +
+              (config.purify_on_consume ? config.purification_latency
+                                        : 0.0));
+    }
+  }
+
+  /// Deposit on edge `e`: offer the pair to the links crossing it, in link
+  /// creation order (the deterministic arbitration rule).
+  void on_edge_deposit(std::size_t e) {
+    for (const int link_index : links_on_edge[e]) {
+      try_serve_pending_swap(static_cast<std::size_t>(link_index));
+    }
+  }
+
   // --- helpers --------------------------------------------------------------
 
-  LinkState& link_of_gate(std::size_t g) {
+  std::size_t link_index_of_gate(std::size_t g) {
     const Gate& gate = circuit->gate(g);
     const int a = key.assignment[static_cast<std::size_t>(gate.q0())];
     const int b = key.assignment[static_cast<std::size_t>(gate.q1())];
@@ -622,13 +965,32 @@ struct RunContext::State {
                          static_cast<std::size_t>(config.num_nodes) +
                      static_cast<std::size_t>(b)];
     DQCSIM_ENSURES(idx >= 0);
-    return links[static_cast<std::size_t>(idx)];
+    return static_cast<std::size_t>(idx);
+  }
+
+  LinkState& link_of_gate(std::size_t g) {
+    return links[link_index_of_gate(g)];
   }
 
   /// Buffered pairs currently available across every link (the adaptive
-  /// controller's occupancy signal e).
+  /// controller's occupancy signal e). In swap-as-you-go mode a link's
+  /// availability is the bottleneck hop's buffered count along its primary
+  /// path — optimistic when routes overlap (each counts the shared buffer
+  /// in full), but a deterministic, cheap occupancy signal.
   std::size_t total_buffered_pairs() {
     std::size_t total = 0;
+    if (use_swap_go) {
+      for (std::size_t i = 0; i < links.size(); ++i) {
+        const net::RoutePlan& plan = link_plans[i];
+        if (!plan.has_route) continue;
+        std::size_t avail = ~std::size_t{0};
+        for (const std::size_t e : plan.primary.edges) {
+          avail = std::min(avail, edge_services[e]->buffer().size(sim.now()));
+        }
+        total += avail;
+      }
+      return total;
+    }
     for (auto& link : links) {
       total += link.service->buffer().size(sim.now());
     }
@@ -727,9 +1089,13 @@ struct RunContext::State {
 
   void on_gate_ready(std::size_t g) {
     if (is_remote(g)) {
-      LinkState& link = link_of_gate(g);
-      link.pending.push_back(PendingRemote{g, sim.now(), {}, 0});
-      try_serve_pending(link);
+      const std::size_t i = link_index_of_gate(g);
+      links[i].pending.push_back(PendingRemote{g, sim.now(), {}, 0});
+      if (use_swap_go) {
+        try_serve_pending_swap(i);
+      } else {
+        try_serve_pending(links[i]);
+      }
     } else {
       start_local_gate(g);
     }
@@ -973,49 +1339,68 @@ struct RunContext::State {
                             ? ent::ServiceMode::Buffered
                             : ent::ServiceMode::OnDemand;
       const bool routed = config.topology != nullptr;
+      // The opt-in contention modes require a topology; swap-as-you-go
+      // additionally needs buffers to hold hop pairs (the bufferless
+      // original falls back to the composed model).
+      use_swap_go = routed && config.swap_as_you_go &&
+                    mode == ent::ServiceMode::Buffered;
+      use_shared_caps = routed && config.share_edge_capacity;
+      use_congestion = routed && config.congestion_aware_routing;
       ent::LinkParams flat_params;
       if (routed) {
         refresh_routing();
       } else {
         flat_params = config.link_params(design);
       }
-      for (auto& link : links) {
-        LinkState* link_ptr = &link;
-        if (routed) {
-          const net::Route& route =
-              route_cache.router.route(link.node_a, link.node_b);
-          const net::RoutedLink rl = net::compose_route(
-              route, route_cache.edge_params, route_cache.inputs.swap);
-          link.service->reset(rl.params, mode);
-          link.hops = rl.hops;
-          link.extra_latency = rl.extra_latency;
-          if (scen_active) {
-            link.route_edges.assign(route.edges.begin(), route.edges.end());
-            link.route_up = true;
-            link.down_since = 0.0;
-            link.service->set_effective_provider(
-                [this, link_ptr](des::SimTime t) {
-                  return link_effective(*link_ptr, t);
+      if (contended()) {
+        plan_all_routes(nullptr);
+        record_plan_metrics();
+        if (use_swap_go) {
+          setup_edge_services();
+        } else {
+          setup_composed_links(mode);
+        }
+      } else {
+        for (auto& link : links) {
+          LinkState* link_ptr = &link;
+          if (routed) {
+            const net::Route& route =
+                route_cache.router.route(link.node_a, link.node_b);
+            const net::RoutedLink rl = net::compose_route(
+                route, route_cache.edge_params, route_cache.inputs.swap);
+            link.service->reset(rl.params, mode);
+            link.hops = rl.hops;
+            link.extra_latency = rl.extra_latency;
+            if (scen_active) {
+              link.route_edges.assign(route.edges.begin(),
+                                      route.edges.end());
+              link.route_up = true;
+              link.down_since = 0.0;
+              link.service->set_effective_provider(
+                  [this, link_ptr](des::SimTime t) {
+                    return link_effective(*link_ptr, t);
+                  });
+            }
+          } else {
+            link.service->reset(flat_params, mode);
+            link.hops = 1;
+            link.extra_latency = 0.0;
+          }
+          if (mode == ent::ServiceMode::Buffered) {
+            link.service->set_arrival_handler(
+                [this, link_ptr](des::SimTime) {
+                  try_serve_pending(*link_ptr);
+                  return true;
+                });
+          } else {
+            link.service->set_arrival_handler(
+                [this, link_ptr](des::SimTime now) {
+                  return on_demand_arrival(*link_ptr, now);
                 });
           }
-        } else {
-          link.service->reset(flat_params, mode);
-          link.hops = 1;
-          link.extra_latency = 0.0;
+          if (design_uses_prefill(design)) link.service->pre_fill_buffer();
+          link.service->start();
         }
-        if (mode == ent::ServiceMode::Buffered) {
-          link.service->set_arrival_handler([this, link_ptr](des::SimTime) {
-            try_serve_pending(*link_ptr);
-            return true;
-          });
-        } else {
-          link.service->set_arrival_handler(
-              [this, link_ptr](des::SimTime now) {
-                return on_demand_arrival(*link_ptr, now);
-              });
-        }
-        if (design_uses_prefill(design)) link.service->pre_fill_buffer();
-        link.service->start();
       }
       // Apply any outage already in force at t = 0, then start the lazy
       // boundary event chain.
@@ -1046,7 +1431,13 @@ struct RunContext::State {
       DQCSIM_ENSURES_MSG(progressed,
                          "simulation stalled with unfinished gates");
     }
-    for (auto& link : links) link.service->stop();
+    if (use_swap_go) {
+      // Per-link services were never started in swap-as-you-go mode; the
+      // running machinery is the per-edge pool.
+      for (auto& svc : edge_services) svc->stop();
+    } else {
+      for (auto& link : links) link.service->stop();
+    }
 
     // Links still routeless when the last gate completes accrue their
     // downtime up to the makespan (the reported trial duration).
@@ -1071,18 +1462,30 @@ struct RunContext::State {
     result.fidelity_idling =
         ledger.category_fidelity(noise::FidelityTerm::Idling);
     result.remote_gates = placement.num_remote_2q;
-    for (const auto& link : links) {
-      const auto& service = *link.service;
-      result.epr_attempts += service.attempts();
-      result.epr_successes += service.successes();
-      result.epr_consumed +=
-          service.buffer().total_consumed() +
-          (service.mode() == ent::ServiceMode::OnDemand
-               ? service.successes() - service.wasted_unconsumed()
-               : 0);
-      result.epr_wasted +=
-          service.wasted_buffer_full() + service.wasted_unconsumed();
-      result.epr_expired += service.buffer().total_expired();
+    if (use_swap_go) {
+      // Entanglement accounting lives on the per-edge pool: a "consumed"
+      // pair here is a single-hop pair drained into an end-to-end fusion.
+      for (const auto& svc : edge_services) {
+        result.epr_attempts += svc->attempts();
+        result.epr_successes += svc->successes();
+        result.epr_consumed += svc->buffer().total_consumed();
+        result.epr_wasted += svc->wasted_buffer_full();
+        result.epr_expired += svc->buffer().total_expired();
+      }
+    } else {
+      for (const auto& link : links) {
+        const auto& service = *link.service;
+        result.epr_attempts += service.attempts();
+        result.epr_successes += service.successes();
+        result.epr_consumed +=
+            service.buffer().total_consumed() +
+            (service.mode() == ent::ServiceMode::OnDemand
+                 ? service.successes() - service.wasted_unconsumed()
+                 : 0);
+        result.epr_wasted +=
+            service.wasted_buffer_full() + service.wasted_unconsumed();
+        result.epr_expired += service.buffer().total_expired();
+      }
     }
     result.avg_pair_age = pair_age_acc.mean();
     result.avg_remote_wait = remote_wait_acc.mean();

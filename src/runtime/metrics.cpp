@@ -11,6 +11,9 @@ void AggregateResult::add(const RunResult& run) {
   avg_remote_wait.add(run.avg_remote_wait);
   entanglement_swaps.add(static_cast<double>(run.entanglement_swaps));
   avg_route_hops.add(run.avg_route_hops);
+  edges_shared.add(static_cast<double>(run.edges_shared));
+  max_edge_load.add(static_cast<double>(run.max_edge_load));
+  route_splits.add(static_cast<double>(run.route_splits));
   reroutes.add(static_cast<double>(run.reroutes));
   outage_downtime.add(run.outage_downtime);
 }

@@ -39,6 +39,17 @@ struct RunResult {
   /// consumed pair crossed a direct physical link, 0 with no remote gates.
   double avg_route_hops = 0.0;
 
+  // Contention accounting (opt-in congestion / shared-capacity / swap-as-
+  // you-go modes; see net/congestion.hpp). All zero in the legacy
+  // independent-budget engine.
+  /// Physical edges crossed by more than one logical route at t=0.
+  std::size_t edges_shared = 0;
+  /// Largest number of logical routes crossing any one physical edge at
+  /// t=0 (1 on contention-free placements, 0 with no routed links).
+  std::size_t max_edge_load = 0;
+  /// Logical links splitting traffic across two cost-tied disjoint paths.
+  std::size_t route_splits = 0;
+
   // Fault-scenario accounting (ArchConfig::scenario; see src/scenario/).
   /// Route re-establishments over the trial: a logical link switching to a
   /// surviving path while live, or coming back up after downtime (on a new
@@ -72,6 +83,9 @@ struct AggregateResult {
   Accumulator avg_remote_wait;
   Accumulator entanglement_swaps;
   Accumulator avg_route_hops;
+  Accumulator edges_shared;
+  Accumulator max_edge_load;
+  Accumulator route_splits;
   Accumulator reroutes;
   Accumulator outage_downtime;
 

@@ -1,0 +1,428 @@
+/// Unit and engine-level tests for the opt-in contention modes
+/// (net/congestion.hpp + ArchConfig knobs): deterministic capacity shares,
+/// congestion-aware route assignment, star-hub throughput degradation under
+/// shared capacity, swap-as-you-go delivery on long chains, and the
+/// thread-count bit-identity contract with every knob enabled.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/benchmarks.hpp"
+#include "net/congestion.hpp"
+#include "net/topology.hpp"
+#include "runtime/arch_config.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/experiment.hpp"
+#include "scenario/scenario.hpp"
+
+namespace dqcsim::net {
+namespace {
+
+using dqcsim::Circuit;
+using runtime::AggregateResult;
+using runtime::ArchConfig;
+using runtime::DesignKind;
+
+// ------------------------------------------------------- capacity_share ----
+
+TEST(CapacityShare, EvenSplitAndRemainderByRank) {
+  // 8 units over 4 routes: everyone gets 2.
+  for (int rank = 0; rank < 4; ++rank) {
+    EXPECT_EQ(capacity_share(8, 4, rank), 2);
+  }
+  // 10 over 4: ranks 0 and 1 absorb the remainder.
+  EXPECT_EQ(capacity_share(10, 4, 0), 3);
+  EXPECT_EQ(capacity_share(10, 4, 1), 3);
+  EXPECT_EQ(capacity_share(10, 4, 2), 2);
+  EXPECT_EQ(capacity_share(10, 4, 3), 2);
+  // Shares sum to the capacity whenever load <= capacity.
+  int total = 0;
+  for (int rank = 0; rank < 5; ++rank) total += capacity_share(13, 5, rank);
+  EXPECT_EQ(total, 13);
+}
+
+TEST(CapacityShare, SaturatedEdgeGrantsAtLeastOneUnit) {
+  // 2 units over 5 routes: nobody starves; the edge oversubscribes.
+  for (int rank = 0; rank < 5; ++rank) {
+    EXPECT_EQ(capacity_share(2, 5, rank), rank < 2 ? 1 : 1);
+  }
+  EXPECT_EQ(capacity_share(1, 3, 2), 1);
+}
+
+TEST(CapacityShare, NonpositiveCapacityPassesThrough) {
+  // The bufferless designs carry a zero buffer budget; sharing preserves it.
+  EXPECT_EQ(capacity_share(0, 3, 0), 0);
+  EXPECT_EQ(capacity_share(-1, 2, 1), -1);
+}
+
+TEST(CapacityShare, UnloadedEdgeKeepsFullBudget) {
+  EXPECT_EQ(capacity_share(7, 1, 0), 7);
+}
+
+// ---------------------------------------------------- CongestionPlanner ----
+
+std::vector<double> unit_costs(const Topology& topo) {
+  return std::vector<double>(topo.num_edges(), 1.0);
+}
+
+TEST(CongestionPlanner, LaterTrafficDetoursAroundLoadedEdges) {
+  // ring(4): 0-2 has two 2-hop paths, via 1 and via 3. Unloaded, the
+  // planner picks a deterministic one; after charging that path twice, the
+  // load-scaled cost makes the other side strictly cheaper.
+  const Topology topo = Topology::ring(4);
+  const std::vector<double> costs = unit_costs(topo);
+  CongestionPlanner planner;
+  planner.begin(topo, costs, /*alpha=*/1.0, nullptr);
+
+  RoutePlan first;
+  planner.plan(0, 2, /*split_tied=*/false, first);
+  ASSERT_TRUE(first.has_route);
+  EXPECT_EQ(first.primary.hops(), 2);
+
+  RoutePlan second;
+  planner.plan(0, 2, /*split_tied=*/false, second);
+  ASSERT_TRUE(second.has_route);
+  EXPECT_EQ(second.primary.hops(), 2);
+  // The two plans take edge-disjoint sides of the ring.
+  for (const std::size_t e : second.primary.edges) {
+    for (const std::size_t f : first.primary.edges) {
+      EXPECT_NE(e, f);
+    }
+  }
+  // Both paths charged: every ring edge now carries exactly one route.
+  for (const int load : planner.edge_load()) EXPECT_EQ(load, 1);
+}
+
+TEST(CongestionPlanner, ZeroAlphaReproducesStaticRoutes) {
+  const Topology topo = Topology::star(6);
+  const std::vector<double> costs = unit_costs(topo);
+  const Router router(topo, costs);
+  CongestionPlanner planner;
+  planner.begin(topo, costs, /*alpha=*/0.0, nullptr);
+  for (int leaf = 1; leaf < 6; ++leaf) {
+    RoutePlan plan;
+    planner.plan(leaf, (leaf % 5) + 1, false, plan);
+    ASSERT_TRUE(plan.has_route);
+    EXPECT_EQ(plan.primary.edges,
+              router.route(leaf, (leaf % 5) + 1).edges);
+  }
+}
+
+TEST(CongestionPlanner, TiedDisjointPathsSplit) {
+  const Topology topo = Topology::ring(4);
+  const std::vector<double> costs = unit_costs(topo);
+  CongestionPlanner planner;
+  planner.begin(topo, costs, 1.0, nullptr);
+  RoutePlan plan;
+  planner.plan(0, 2, /*split_tied=*/true, plan);
+  ASSERT_TRUE(plan.has_route);
+  EXPECT_TRUE(plan.split);
+  EXPECT_EQ(plan.primary.hops(), 2);
+  EXPECT_EQ(plan.alternate.hops(), 2);
+  for (const std::size_t e : plan.alternate.edges) {
+    for (const std::size_t f : plan.primary.edges) EXPECT_NE(e, f);
+  }
+  // Both sides are charged, so the next pair sees a uniformly loaded ring.
+  for (const int load : planner.edge_load()) EXPECT_EQ(load, 1);
+}
+
+TEST(CongestionPlanner, NoDisjointAlternateMeansNoSplit) {
+  // A chain has a unique path: requesting a split must not invent one.
+  const Topology topo = Topology::chain(5);
+  const std::vector<double> costs = unit_costs(topo);
+  CongestionPlanner planner;
+  planner.begin(topo, costs, 1.0, nullptr);
+  RoutePlan plan;
+  planner.plan(0, 4, true, plan);
+  ASSERT_TRUE(plan.has_route);
+  EXPECT_FALSE(plan.split);
+  EXPECT_EQ(plan.primary.hops(), 4);
+}
+
+TEST(CongestionPlanner, MaskedEdgesAreUnusable) {
+  const Topology topo = Topology::ring(4);
+  const std::vector<double> costs = unit_costs(topo);
+  std::vector<char> enabled(topo.num_edges(), 1);
+  enabled[topo.edge_index(0, 1)] = 0;
+  CongestionPlanner planner;
+  planner.begin(topo, costs, 1.0, &enabled);
+  RoutePlan plan;
+  planner.plan(0, 1, false, plan);
+  ASSERT_TRUE(plan.has_route);
+  EXPECT_EQ(plan.primary.hops(), 3);  // the long way around
+
+  // Masking both endpoints' edges disconnects the pair.
+  enabled[topo.edge_index(0, 3)] = 0;
+  planner.begin(topo, costs, 1.0, &enabled);
+  planner.plan(0, 2, false, plan);
+  EXPECT_FALSE(plan.has_route);
+}
+
+// --------------------------------------------------- engine-level tests ----
+
+/// 5 leaf qubits on star(8): four remote pairs all routed through the
+/// hub-leaf edge of node 1, the contention hot spot.
+Circuit hub_circuit() {
+  Circuit qc(5);
+  for (int rep = 0; rep < 4; ++rep) {
+    qc.rzz(0, 1, 0.1);  // nodes 1-2
+    qc.rzz(0, 2, 0.1);  // nodes 1-3
+    qc.rzz(0, 3, 0.1);  // nodes 1-4
+    qc.rzz(0, 4, 0.1);  // nodes 1-5
+  }
+  return qc;
+}
+
+std::vector<int> hub_assignment() { return {1, 2, 3, 4, 5}; }
+
+/// Star config with enough hub budget that the independent-vs-shared
+/// difference is structural, not a clamp artifact: the hub degree is 7, so
+/// comm_per_node = 28 gives each hub edge 4 pairs — 4 routes sharing edge
+/// (0,1) get 1 pair each instead of 4 each.
+ArchConfig star_config() {
+  ArchConfig config;
+  config.num_nodes = 8;
+  config.comm_per_node = 28;
+  config.buffer_per_node = 28;
+  config.set_topology(Topology::star(8));
+  return config;
+}
+
+TEST(SharedCapacity, StarHubThroughputDegradesVersusIndependentBudgets) {
+  const Circuit qc = hub_circuit();
+  const std::vector<int> nodes = hub_assignment();
+  const ArchConfig independent = star_config();
+  ArchConfig shared = star_config();
+  shared.share_edge_capacity = true;
+
+  constexpr int kRuns = 8;
+  for (const DesignKind design :
+       {DesignKind::AsyncBuf, DesignKind::SyncBuf}) {
+    SCOPED_TRACE(runtime::design_name(design));
+    const AggregateResult indep =
+        runtime::run_design(qc, nodes, independent, design, kRuns, 42, 1);
+    const AggregateResult contended =
+        runtime::run_design(qc, nodes, shared, design, kRuns, 42, 1);
+    // Four routes sharing the hub edge each run at a quarter of the pair
+    // rate: the makespan must grow strictly.
+    EXPECT_GT(contended.depth.mean(), indep.depth.mean());
+    // The legacy engine reports no contention; the shared engine sees the
+    // hub edge loaded fourfold in every run.
+    EXPECT_EQ(indep.max_edge_load.mean(), 0.0);
+    EXPECT_GE(contended.edges_shared.mean(), 1.0);
+    EXPECT_EQ(contended.max_edge_load.mean(), 4.0);
+  }
+}
+
+TEST(SharedCapacity, KnobIsNoOpWithoutTopology) {
+  const Circuit qc = hub_circuit();
+  const std::vector<int> nodes = hub_assignment();
+  ArchConfig legacy;
+  legacy.num_nodes = 8;
+  ArchConfig knobs = legacy;
+  knobs.share_edge_capacity = true;
+  knobs.congestion_aware_routing = true;
+  knobs.swap_as_you_go = true;
+  const AggregateResult a =
+      runtime::run_design(qc, nodes, legacy, DesignKind::AsyncBuf, 4, 7, 1);
+  const AggregateResult b =
+      runtime::run_design(qc, nodes, knobs, DesignKind::AsyncBuf, 4, 7, 1);
+  EXPECT_EQ(a.depth.mean(), b.depth.mean());
+  EXPECT_EQ(a.fidelity.mean(), b.fidelity.mean());
+  EXPECT_EQ(a.edges_shared.mean(), 0.0);
+}
+
+TEST(CongestionRouting, UniquePathTopologyIsBitIdenticalToLegacy) {
+  // On a star every pair has a unique path, so congestion-aware routing
+  // (without capacity sharing) must reproduce the legacy engine exactly —
+  // same routes, same budgets, same draws.
+  const Circuit qc = hub_circuit();
+  const std::vector<int> nodes = hub_assignment();
+  const ArchConfig legacy = star_config();
+  ArchConfig congested = star_config();
+  congested.congestion_aware_routing = true;
+  for (const DesignKind design : runtime::distributed_designs()) {
+    SCOPED_TRACE(runtime::design_name(design));
+    const AggregateResult a =
+        runtime::run_design(qc, nodes, legacy, design, 4, 11, 1);
+    const AggregateResult b =
+        runtime::run_design(qc, nodes, congested, design, 4, 11, 1);
+    EXPECT_EQ(a.depth.mean(), b.depth.mean());
+    EXPECT_EQ(a.depth.stddev(), b.depth.stddev());
+    EXPECT_EQ(a.fidelity.mean(), b.fidelity.mean());
+    EXPECT_EQ(a.epr_wasted.mean(), b.epr_wasted.mean());
+  }
+}
+
+// Two-node chain: one physical edge, zero swaps. Swap-as-you-go then
+// differs from the composed model only in bookkeeping (pairs transit the
+// per-edge pool instead of the per-link service), so timing statistics
+// must match exactly and fidelity to float round-off (the single-pair
+// "fusion" round-trips the Werner weight once).
+TEST(SwapAsYouGo, SingleHopMatchesComposedModel) {
+  Circuit qc(4);
+  for (int rep = 0; rep < 6; ++rep) {
+    qc.rzz(0, 2, 0.1);
+    qc.rzz(1, 3, 0.2);
+    qc.h(0);
+  }
+  const std::vector<int> nodes = {0, 0, 1, 1};
+  ArchConfig legacy;
+  legacy.num_nodes = 2;
+  legacy.set_topology(Topology::chain(2));
+  ArchConfig swap_go = legacy;
+  swap_go.swap_as_you_go = true;
+  for (const DesignKind design :
+       {DesignKind::AsyncBuf, DesignKind::SyncBuf, DesignKind::InitBuf}) {
+    SCOPED_TRACE(runtime::design_name(design));
+    const AggregateResult a =
+        runtime::run_design(qc, nodes, legacy, design, 6, 21, 1);
+    const AggregateResult b =
+        runtime::run_design(qc, nodes, swap_go, design, 6, 21, 1);
+    EXPECT_EQ(a.depth.mean(), b.depth.mean());
+    EXPECT_EQ(a.avg_remote_wait.mean(), b.avg_remote_wait.mean());
+    EXPECT_NEAR(a.fidelity.mean(), b.fidelity.mean(), 1e-12);
+  }
+}
+
+TEST(SwapAsYouGo, BeatsComposedModelOnLongChains) {
+  // End-to-end traffic across chain(8): the composed model needs all 7
+  // hops to herald within one window (p_succ^7), swap-as-you-go buffers
+  // each hop independently. The depth gap is the ablation's headline.
+  Circuit qc(8);
+  for (int rep = 0; rep < 2; ++rep) qc.rzz(0, 7, 0.1);
+  const std::vector<int> nodes = {0, 1, 2, 3, 4, 5, 6, 7};
+  ArchConfig composed;
+  composed.num_nodes = 8;
+  composed.set_topology(Topology::chain(8));
+  ArchConfig swap_go = composed;
+  swap_go.swap_as_you_go = true;
+
+  const AggregateResult slow = runtime::run_design(
+      qc, nodes, composed, DesignKind::AsyncBuf, 3, 33, 1);
+  const AggregateResult fast = runtime::run_design(
+      qc, nodes, swap_go, DesignKind::AsyncBuf, 3, 33, 1);
+  EXPECT_GT(slow.depth.mean(), 5.0 * fast.depth.mean());
+  // Every delivered pair still pays its 7-hop swap chain.
+  EXPECT_EQ(fast.avg_route_hops.mean(), 7.0);
+  EXPECT_GT(fast.entanglement_swaps.mean(), 0.0);
+}
+
+// ----------------------------------------------------------- determinism ----
+
+void expect_identical(const Accumulator& a, const Accumulator& b,
+                      const char* what) {
+  EXPECT_EQ(a.count(), b.count()) << what;
+  EXPECT_EQ(a.mean(), b.mean()) << what;
+  EXPECT_EQ(a.stddev(), b.stddev()) << what;
+  EXPECT_EQ(a.min(), b.min()) << what;
+  EXPECT_EQ(a.max(), b.max()) << what;
+}
+
+void expect_identical(const AggregateResult& a, const AggregateResult& b) {
+  expect_identical(a.depth, b.depth, "depth");
+  expect_identical(a.fidelity, b.fidelity, "fidelity");
+  expect_identical(a.epr_wasted, b.epr_wasted, "epr_wasted");
+  expect_identical(a.epr_expired, b.epr_expired, "epr_expired");
+  expect_identical(a.avg_pair_age, b.avg_pair_age, "avg_pair_age");
+  expect_identical(a.avg_remote_wait, b.avg_remote_wait, "avg_remote_wait");
+  expect_identical(a.entanglement_swaps, b.entanglement_swaps,
+                   "entanglement_swaps");
+  expect_identical(a.avg_route_hops, b.avg_route_hops, "avg_route_hops");
+  expect_identical(a.edges_shared, b.edges_shared, "edges_shared");
+  expect_identical(a.max_edge_load, b.max_edge_load, "max_edge_load");
+  expect_identical(a.route_splits, b.route_splits, "route_splits");
+  expect_identical(a.reroutes, b.reroutes, "reroutes");
+  expect_identical(a.outage_downtime, b.outage_downtime, "outage_downtime");
+}
+
+/// 8 qubits over 4 ring nodes with traffic on four node pairs, two of them
+/// non-adjacent (multi-hop, eligible for tied-path splits).
+Circuit ring_circuit() {
+  Circuit qc(8);
+  for (int rep = 0; rep < 3; ++rep) {
+    qc.rzz(1, 2, 0.1);  // nodes 0-1, adjacent
+    qc.rzz(3, 4, 0.1);  // nodes 1-2, adjacent
+    qc.rzz(0, 5, 0.1);  // nodes 0-2, across the ring
+    qc.rzz(2, 7, 0.1);  // nodes 1-3, across the ring
+    qc.h(6);
+  }
+  return qc;
+}
+
+TEST(CongestionDeterminism, EveryKnobCombinationIsThreadCountInvariant) {
+  const Circuit qc = ring_circuit();
+  const std::vector<int> nodes = {0, 0, 1, 1, 2, 2, 3, 3};
+  constexpr int kRuns = 8;
+  constexpr std::uint64_t kSeed = 500;
+
+  struct Combo {
+    const char* name;
+    bool share, congest, swap_go;
+  };
+  const Combo combos[] = {
+      {"shared", true, false, false},
+      {"congestion", false, true, false},
+      {"swap_go", false, false, true},
+      {"all", true, true, true},
+  };
+  for (const Combo& combo : combos) {
+    ArchConfig config;
+    config.num_nodes = 4;
+    config.set_topology(Topology::ring(4));
+    config.share_edge_capacity = combo.share;
+    config.congestion_aware_routing = combo.congest;
+    config.swap_as_you_go = combo.swap_go;
+    for (const DesignKind design : runtime::distributed_designs()) {
+      const AggregateResult serial = runtime::run_design(
+          qc, nodes, config, design, kRuns, kSeed, /*threads=*/1);
+      for (const int threads : {0, 2, 4}) {
+        SCOPED_TRACE(std::string(combo.name) + " " +
+                     runtime::design_name(design) + " @ " +
+                     std::to_string(threads) + " threads");
+        const AggregateResult parallel = runtime::run_design(
+            qc, nodes, config, design, kRuns, kSeed, threads);
+        expect_identical(serial, parallel);
+      }
+    }
+  }
+}
+
+TEST(CongestionDeterminism, OutageRePlanningIsThreadCountInvariant) {
+  // Outage boundaries re-run the congestion pass over the surviving
+  // subgraph and (in swap mode) re-serve every link; the whole machinery
+  // must stay bit-identical across thread counts.
+  const Circuit qc = ring_circuit();
+  const std::vector<int> nodes = {0, 0, 1, 1, 2, 2, 3, 3};
+  scenario::Scenario scn;
+  scn.link_outages.push_back({0, 1, 60.0, 40.0});
+  scn.link_outages.push_back({1, 2, 150.0, 30.0});
+
+  for (const bool swap_go : {false, true}) {
+    ArchConfig config;
+    config.num_nodes = 4;
+    config.set_topology(Topology::ring(4));
+    config.set_scenario(scn);
+    config.share_edge_capacity = !swap_go;
+    config.congestion_aware_routing = true;
+    config.swap_as_you_go = swap_go;
+    for (const DesignKind design : runtime::distributed_designs()) {
+      const AggregateResult serial =
+          runtime::run_design(qc, nodes, config, design, 8, 900, 1);
+      for (const int threads : {0, 4}) {
+        SCOPED_TRACE(std::string(swap_go ? "swap_go" : "composed") + " " +
+                     runtime::design_name(design) + " @ " +
+                     std::to_string(threads) + " threads");
+        const AggregateResult parallel =
+            runtime::run_design(qc, nodes, config, design, 8, 900, threads);
+        expect_identical(serial, parallel);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dqcsim::net
