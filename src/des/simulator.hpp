@@ -56,6 +56,11 @@ class Simulator {
   /// True when no pending events remain.
   bool idle() const noexcept { return queue_.empty(); }
 
+  /// Time of the earliest pending event (the instant the next step() would
+  /// advance the clock to). Precondition: !idle(). Non-const: may settle
+  /// the queue's dispatch window past cancelled entries.
+  SimTime next_event_time() { return queue_.next_time(); }
+
   /// Number of pending events.
   std::size_t pending_events() const noexcept { return queue_.size(); }
 

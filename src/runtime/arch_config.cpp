@@ -48,6 +48,18 @@ void ArchConfig::validate() const {
   if (congestion_alpha < 0.0) {
     throw ConfigError("ArchConfig: congestion_alpha must be nonnegative");
   }
+  retry_policy.validate();
+  if (stall_windows < 0) {
+    throw ConfigError("ArchConfig: stall_windows must be nonnegative");
+  }
+  if (!(max_trial_sim_time > 0.0)) {
+    throw ConfigError("ArchConfig: max_trial_sim_time must be positive");
+  }
+  if (reshare_at_boundaries && !share_edge_capacity) {
+    throw ConfigError(
+        "ArchConfig: reshare_at_boundaries re-computes capacity shares and "
+        "needs share_edge_capacity on");
+  }
   if (topology) {
     topology->validate();
     if (topology->num_nodes() != num_nodes) {
@@ -85,6 +97,7 @@ ent::LinkParams common_link_params(const ArchConfig& cfg,
   link.async_subgroups = cfg.async_subgroups;
   link.consume_freshest = cfg.consume_freshest;
   link.record_trace = cfg.record_arrival_trace;
+  link.retry = cfg.retry_policy;
   return link;
 }
 

@@ -139,15 +139,58 @@ struct ArchConfig {
   /// remote gate is served by whichever path first buffers its full pair
   /// quota.
   bool split_tied_routes = true;
-  /// Swap-as-you-go delivery for the buffered designs on a topology: one
-  /// generation service per *physical edge* buffers pairs at intermediate
-  /// swap nodes, and an end-to-end pair is fused on demand from one
-  /// buffered pair per hop — escaping the composed model's punishing
-  /// all-hops-in-one-window p_succ^hops success law. Edge budgets are
-  /// inherently shared between the routes draining a common buffer. The
-  /// bufferless original design has nowhere to hold hop pairs and falls
-  /// back to the composed model.
+  /// Swap-as-you-go delivery on a topology: one generation service per
+  /// *physical edge* buffers pairs at intermediate swap nodes, and an
+  /// end-to-end pair is fused on demand from one buffered pair per hop —
+  /// escaping the composed model's punishing all-hops-in-one-window
+  /// p_succ^hops success law. Edge budgets are inherently shared between
+  /// the routes draining a common buffer. Bufferless (OnDemand) designs
+  /// run a degraded one-slot-per-edge service: each hop pair parks on the
+  /// edge's communication qubits until the fusion drains it, so the knob
+  /// selects the same delivery model for every design instead of silently
+  /// falling back to the composed model for the original design.
   bool swap_as_you_go = false;
+
+  // --- Degraded-mode delivery under faults (all default off; see
+  // docs/ARCHITECTURE.md "Fault handling & degraded modes"). Knobs-off
+  // runs are bit-identical to the engine without this layer.
+
+  /// Mid-flight pair salvage at outage boundaries. Entangled pairs held
+  /// in buffers survive a *channel* outage — only new generation pauses —
+  /// so with swap_as_you_go a logical link whose entire route is severed
+  /// may still assemble end-to-end pairs from hop pairs buffered before
+  /// the outage, along its last route, provided every node on that route
+  /// is up (salvage is from *surviving nodes*). In the composed model the
+  /// kept stock is re-credited to the re-planned route's budget and
+  /// consumption while routeless is counted as salvage. Pairs buffered at
+  /// a *down node* are lost and flushed at the boundary. Reported as
+  /// pairs_salvaged / pairs_discarded; arbitration between links follows
+  /// the usual creation order.
+  bool salvage_pairs = false;
+  /// Recompute per-route capacity shares at every outage/recovery
+  /// boundary over the surviving routes (requires share_edge_capacity;
+  /// without this knob shares stay frozen at t=0 while routes re-plan).
+  /// In-flight attempt windows complete under the old shares — a
+  /// deactivated comm pair finishes its started window before its chain
+  /// stops (see ent::GenerationService::set_capacity_share). Buffer
+  /// overflow from a shrunken share is discarded oldest-first and
+  /// reported as pairs_discarded.
+  bool reshare_at_boundaries = false;
+  /// Retry/timeout/backoff policy applied to every generation service
+  /// (per-link and per-edge); the default retries every window, which is
+  /// the legacy tight loop. See ent::RetryPolicy.
+  ent::RetryPolicy retry_policy;
+  /// link_stalled watchdog: report (in RunResult::links_stalled) how many
+  /// generation services went longer than stall_windows attempt windows
+  /// without a single successful generation at any point in the trial.
+  /// 0 disables the watchdog.
+  int stall_windows = 0;
+  /// Trial sim-time budget: a trial whose next event would fire beyond
+  /// this instant stops cleanly with RunResult::truncated set and partial
+  /// metrics (depth reports the budget horizon). Deterministic — the
+  /// budget is simulation time, not wall clock — so truncated runs stay
+  /// bit-identical across thread counts. Infinity (default) disables it.
+  double max_trial_sim_time = std::numeric_limits<double>::infinity();
 
   /// Convenience: wrap `topo` for the shared `topology` slot.
   void set_topology(net::Topology topo) {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <optional>
 
 #include "circuit/fusion.hpp"
@@ -211,6 +213,7 @@ struct RunContext::State {
     bool consume_freshest = false;
     bool record_trace = true;
     net::SwapParams swap;
+    ent::RetryPolicy retry;
 
     friend bool operator==(const RouteInputs&,
                            const RouteInputs&) = default;
@@ -508,6 +511,7 @@ struct RunContext::State {
     inputs.consume_freshest = config.consume_freshest;
     inputs.record_trace = config.record_arrival_trace;
     inputs.swap = config.swap_params();
+    inputs.retry = config.retry_policy;
     if (route_cache.valid && route_cache.topology == config.topology &&
         route_cache.inputs == inputs) {
       return;
@@ -589,6 +593,11 @@ struct RunContext::State {
     }
     ++result.reroutes;
     if (path_changed) {
+      if (config.salvage_pairs) {
+        // The stock kept across the re-plan is re-credited to the new
+        // route's budget instead of rotting against the dead path.
+        result.pairs_salvaged += link.service->buffer().size(t);
+      }
       link.route_edges.assign(route.edges.begin(), route.edges.end());
       link.hops = route.hops();
       link.extra_latency = static_cast<double>(link.hops - 1) *
@@ -629,11 +638,27 @@ struct RunContext::State {
         update_link_from_plan(i, t);
         if (was_up && !links[i].route_up) any_lost = true;
       }
+      if (use_swap_go && config.salvage_pairs) {
+        // A down node loses its stored halves: flush the buffers of its
+        // incident edges before anyone salvages through them.
+        for (std::size_t e = 0; e < edge_services.size(); ++e) {
+          const net::TopologyEdge& edge = config.topology->edge(e);
+          if (!scen.node_up(edge.a, t) || !scen.node_up(edge.b, t)) {
+            result.pairs_discarded += edge_services[e]->buffer().flush(t);
+          }
+        }
+      }
+      if (use_shared_caps && !use_swap_go &&
+          config.reshare_at_boundaries) {
+        reshare_capacity();
+      }
       if (use_swap_go) {
         // Deposits wasted against full buffers do not re-fire the arrival
         // handler, so a link re-planned onto already-full edges would
         // otherwise stall until some other deposit lands: serve everyone
-        // once against the new plans.
+        // once against the new plans. With salvage_pairs this same pass
+        // is the salvage drain — links whose routes were just severed
+        // consume their pre-outage stock here, in creation order.
         for (std::size_t i = 0; i < links.size(); ++i) {
           try_serve_pending_swap(i);
         }
@@ -814,7 +839,12 @@ struct RunContext::State {
     rebuild_links_on_edge();
     for (std::size_t e = 0; e < num_edges; ++e) {
       ent::GenerationService& svc = *edge_services[e];
-      svc.reset(route_cache.edge_params[e], ent::ServiceMode::Buffered);
+      // Bufferless designs hold each hop pair on the edge's communication
+      // qubits until the end-to-end fusion drains it: a degraded one-slot
+      // buffer per edge, so swap-as-you-go applies to every design.
+      ent::LinkParams ep = route_cache.edge_params[e];
+      if (!design_uses_buffer(design)) ep.buffer_capacity = 1;
+      svc.reset(ep, ent::ServiceMode::Buffered);
       svc.set_arrival_handler([this, e](des::SimTime) {
         on_edge_deposit(e);
         return true;
@@ -859,6 +889,11 @@ struct RunContext::State {
     }
     ++result.reroutes;
     if (path_changed) {
+      if (config.salvage_pairs && !use_swap_go) {
+        // The stock kept across the re-plan is re-credited to the new
+        // route's budget instead of rotting against the dead path.
+        result.pairs_salvaged += link.service->buffer().size(t);
+      }
       link.route_edges.assign(route.edges.begin(), route.edges.end());
       link.hops = route.hops();
       link.extra_latency = static_cast<double>(link.hops - 1) *
@@ -866,10 +901,53 @@ struct RunContext::State {
     }
   }
 
-  /// True when every edge buffer along `path` holds the full pair quota.
-  bool path_ready(const net::Route& path, std::size_t needed) {
-    for (const std::size_t e : path.edges) {
+  /// Recompute every surviving composed link's capacity share from the
+  /// freshly planned loads (reshare_at_boundaries): the bottleneck fold of
+  /// compose_route_shared, re-run over the post-boundary edge loads. Ranks
+  /// are assigned in link creation order, the same deterministic rule as
+  /// the t=0 assignment; links without a route keep their old share (their
+  /// effective provider already blocks attempts). In-flight windows finish
+  /// under the old share inside set_capacity_share's epoch guard; buffer
+  /// overflow from a shrunken share is discarded oldest-first.
+  void reshare_capacity() {
+    edge_rank.assign(config.topology->num_edges(), 0);
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      LinkState& link = links[i];
+      const net::RoutePlan& plan = link_plans[i];
+      if (!plan.has_route) continue;
+      int comm = std::numeric_limits<int>::max();
+      int buf = std::numeric_limits<int>::max();
+      for (const std::size_t e : plan.primary.edges) {
+        const ent::LinkParams& ep = route_cache.edge_params[e];
+        const int load = planner.edge_load()[e];
+        const int rank = edge_rank[e]++;
+        comm = std::min(comm, net::capacity_share(ep.num_comm_pairs, load,
+                                                  rank));
+        buf = std::min(buf,
+                       net::capacity_share(ep.buffer_capacity, load, rank));
+      }
+      result.pairs_discarded += link.service->set_capacity_share(comm, buf);
+    }
+  }
+
+  /// True when every edge buffer along `edges` holds the full pair quota.
+  bool edges_ready(const std::vector<std::size_t>& edges,
+                   std::size_t needed) {
+    for (const std::size_t e : edges) {
       if (edge_services[e]->buffer().size(sim.now()) < needed) return false;
+    }
+    return true;
+  }
+
+  /// Salvage eligibility of a severed route: every endpoint node along it
+  /// must be up at time `t`. Stored pair halves survive a *channel*
+  /// outage — only new generation pauses — but die with a down node.
+  bool salvage_nodes_up(const std::vector<std::size_t>& edges, double t) {
+    for (const std::size_t e : edges) {
+      const net::TopologyEdge& edge = config.topology->edge(e);
+      if (!scen.node_up(edge.a, t) || !scen.node_up(edge.b, t)) {
+        return false;
+      }
     }
     return true;
   }
@@ -881,29 +959,45 @@ struct RunContext::State {
   /// it reaches the consuming gate fresh. With a split plan a request is
   /// served by the primary path when ready, else by the cost-tied
   /// alternate; with neither ready it waits for the next deposit.
+  ///
+  /// Mid-flight pair salvage (config.salvage_pairs): a link whose whole
+  /// route was severed may still drain hop pairs buffered *before* the
+  /// outage along its last route, provided every node on it survives —
+  /// the gate completes on pre-outage stock instead of stalling for the
+  /// repair window. Links salvage in creation order (the boundary loop in
+  /// apply_scen_boundary), the same arbitration rule deposits follow.
   void try_serve_pending_swap(std::size_t link_index) {
     LinkState& link = links[link_index];
     const net::RoutePlan& plan = link_plans[link_index];
-    if (!plan.has_route) return;
+    const bool salvaging = !plan.has_route;
+    if (salvaging && !(config.salvage_pairs && scen_active &&
+                       !link.route_edges.empty() &&
+                       salvage_nodes_up(link.route_edges, sim.now()))) {
+      return;
+    }
     const auto order = config.consume_freshest
                            ? ent::ConsumeOrder::FreshestFirst
                            : ent::ConsumeOrder::OldestFirst;
     const auto needed =
         static_cast<std::size_t>(config.pairs_per_remote_gate());
     while (!link.pending.empty()) {
-      const net::Route* path = nullptr;
-      if (path_ready(plan.primary, needed)) {
-        path = &plan.primary;
-      } else if (plan.split && path_ready(plan.alternate, needed)) {
-        path = &plan.alternate;
+      const std::vector<std::size_t>* path_edges = nullptr;
+      if (salvaging) {
+        if (!edges_ready(link.route_edges, needed)) break;
+        path_edges = &link.route_edges;
+      } else if (edges_ready(plan.primary.edges, needed)) {
+        path_edges = &plan.primary.edges;
+      } else if (plan.split && edges_ready(plan.alternate.edges, needed)) {
+        path_edges = &plan.alternate.edges;
       } else {
         break;
       }
+      const std::size_t path_hops = path_edges->size();
       PendingRemote& req = link.pending.front();
       req.num_births = 0;
       for (std::size_t i = 0; i < needed; ++i) {
         hop_fid_scratch.clear();
-        for (const std::size_t e : path->edges) {
+        for (const std::size_t e : *path_edges) {
           auto pair = edge_services[e]->buffer().pop(sim.now(), order);
           DQCSIM_ENSURES(pair.has_value());
           const double age = sim.now() - pair->deposited;
@@ -917,8 +1011,8 @@ struct RunContext::State {
             route_cache.inputs.swap.bsm_fidelity);
         ++req.num_births;
       }
-      result.entanglement_swaps +=
-          static_cast<std::size_t>(path->hops() - 1) * needed;
+      if (salvaging) result.pairs_salvaged += needed;
+      result.entanglement_swaps += (path_hops - 1) * needed;
       // The assembled pairs are born at this instant, so decay over
       // [birth, now] is the identity: the fused fidelities feed
       // purification directly.
@@ -933,13 +1027,13 @@ struct RunContext::State {
       }
       const std::size_t gate = req.gate;
       remote_wait_acc.add(sim.now() - req.ready_at);
-      route_hops_acc.add(static_cast<double>(path->hops()));
+      route_hops_acc.add(static_cast<double>(path_hops));
       link.pending.pop_front();
       // start_remote_gate reads *logical before any re-entrant serve (via
       // segment pumping) can clobber the scratch buffers it points into.
       start_remote_gate(
           gate, *logical,
-          static_cast<double>(path->hops() - 1) *
+          static_cast<double>(path_hops - 1) *
                   route_cache.inputs.swap.latency +
               (config.purify_on_consume ? config.purification_latency
                                         : 0.0));
@@ -1273,6 +1367,12 @@ struct RunContext::State {
       // Each consumed end-to-end pair carried hops - 1 entanglement swaps.
       result.entanglement_swaps +=
           static_cast<std::size_t>(link.hops - 1) * needed;
+      if (config.salvage_pairs && scen_active && !link.route_up) {
+        // The composed model never discards stock at boundaries, so
+        // salvage here is accounting: pairs buffered before the outage
+        // serving a gate while the route is severed.
+        result.pairs_salvaged += needed;
+      }
       const auto* logical = maybe_purify(decay_births(link, req));
       if (logical == nullptr) {
         // Purification failed: pairs are lost, the gate retries from the
@@ -1339,11 +1439,11 @@ struct RunContext::State {
                             ? ent::ServiceMode::Buffered
                             : ent::ServiceMode::OnDemand;
       const bool routed = config.topology != nullptr;
-      // The opt-in contention modes require a topology; swap-as-you-go
-      // additionally needs buffers to hold hop pairs (the bufferless
-      // original falls back to the composed model).
-      use_swap_go = routed && config.swap_as_you_go &&
-                    mode == ent::ServiceMode::Buffered;
+      // The opt-in contention modes require a topology. Swap-as-you-go
+      // covers every design: bufferless (OnDemand) designs run degraded
+      // one-slot-per-edge services (see setup_edge_services) instead of
+      // silently falling back to the composed model.
+      use_swap_go = routed && config.swap_as_you_go;
       use_shared_caps = routed && config.share_edge_capacity;
       use_congestion = routed && config.congestion_aware_routing;
       ent::LinkParams flat_params;
@@ -1426,10 +1526,24 @@ struct RunContext::State {
     // Drive the simulation until every gate has completed. The generation
     // service perpetually schedules events, so the loop can always advance;
     // an event-starved state with unfinished gates indicates a logic error.
+    // A finite max_trial_sim_time bounds the drive: an event strictly
+    // beyond the budget never executes, so a trial that cannot finish
+    // (e.g. total disconnection) stops deterministically with partial
+    // metrics instead of spinning on generation windows forever.
+    const double budget = config.max_trial_sim_time;
+    const bool bounded = std::isfinite(budget);
     while (num_completed < circuit->num_gates()) {
+      if (bounded && !sim.idle() && sim.next_event_time() > budget) {
+        result.truncated = true;
+        break;
+      }
       const bool progressed = sim.step();
       DQCSIM_ENSURES_MSG(progressed,
                          "simulation stalled with unfinished gates");
+    }
+    if (result.truncated) {
+      // Depth and idling report the budget horizon the trial ran out at.
+      makespan = std::max(makespan, budget);
     }
     if (use_swap_go) {
       // Per-link services were never started in swap-as-you-go mode; the
@@ -1437,6 +1551,27 @@ struct RunContext::State {
       for (auto& svc : edge_services) svc->stop();
     } else {
       for (auto& link : links) link.service->stop();
+    }
+
+    // link_stalled watchdog: services that at some point went longer than
+    // stall_windows attempt windows without one successful generation.
+    // Pure observation over the always-tracked success-gap maximum — no
+    // RNG draw, no event, so the knob cannot perturb the trial itself.
+    if (config.stall_windows > 0) {
+      const auto stalled = [&](const ent::GenerationService& svc) {
+        return svc.max_delivery_gap(sim.now()) >
+               static_cast<double>(config.stall_windows) *
+                   svc.params().cycle_time;
+      };
+      if (use_swap_go) {
+        for (const auto& svc : edge_services) {
+          if (stalled(*svc)) ++result.links_stalled;
+        }
+      } else {
+        for (const auto& link : links) {
+          if (stalled(*link.service)) ++result.links_stalled;
+        }
+      }
     }
 
     // Links still routeless when the last gate completes accrue their

@@ -63,6 +63,27 @@ struct RunResult {
   /// a boundary taking two links down for 5 units accrues 10).
   double outage_downtime = 0.0;
 
+  // Degraded-mode accounting (opt-in salvage / re-sharing / retry knobs;
+  // see docs/ARCHITECTURE.md "Fault handling & degraded modes"). All zero
+  // with the knobs off.
+  /// Pairs rescued across an outage (salvage_pairs): end-to-end pairs
+  /// assembled from pre-outage hop stock over a severed route (swap-as-
+  /// you-go), pairs consumed or kept through a route loss / re-plan in
+  /// the composed model.
+  std::size_t pairs_salvaged = 0;
+  /// Buffered pairs dropped at fault boundaries: stock at a down node
+  /// (salvage_pairs) or overflow from a shrunken capacity share
+  /// (reshare_at_boundaries), oldest first.
+  std::size_t pairs_discarded = 0;
+  /// Generation services that at some point went more than
+  /// ArchConfig::stall_windows attempt windows without one successful
+  /// generation (0 when the watchdog is off).
+  std::size_t links_stalled = 0;
+  /// True when the trial hit ArchConfig::max_trial_sim_time and stopped
+  /// with unfinished gates; every metric is then a partial figure over
+  /// the truncated horizon.
+  bool truncated = false;
+
   // Adaptive-controller decisions (adapt_buf / init_buf only).
   std::size_t segments_asap = 0;
   std::size_t segments_alap = 0;
@@ -88,6 +109,11 @@ struct AggregateResult {
   Accumulator route_splits;
   Accumulator reroutes;
   Accumulator outage_downtime;
+  Accumulator pairs_salvaged;
+  Accumulator pairs_discarded;
+  Accumulator links_stalled;
+  /// Fraction of runs that hit the trial sim-time budget (mean of 0/1).
+  Accumulator truncated;
 
   /// Fold one run into the aggregate.
   void add(const RunResult& run);

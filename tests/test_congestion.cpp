@@ -311,6 +311,32 @@ TEST(SwapAsYouGo, BeatsComposedModelOnLongChains) {
   EXPECT_GT(fast.entanglement_swaps.mean(), 0.0);
 }
 
+TEST(SwapAsYouGo, OnDemandDesignRunsDegradedPerEdgeService) {
+  // The bufferless original design no longer falls back to the composed
+  // model under swap_as_you_go: each edge runs a one-slot buffered
+  // service, so hop pairs park on the communication qubits instead of
+  // needing all hops to herald within one window (p_succ^hops). On a long
+  // chain that degraded service still beats the composed model by a wide
+  // margin — and the multi-hop bookkeeping (route hops, swaps) proves the
+  // pairs were fused per edge, not composed.
+  Circuit qc(5);
+  for (int rep = 0; rep < 2; ++rep) qc.rzz(0, 4, 0.1);
+  const std::vector<int> nodes = {0, 1, 2, 3, 4};
+  ArchConfig composed;
+  composed.num_nodes = 5;
+  composed.set_topology(Topology::chain(5));
+  ArchConfig swap_go = composed;
+  swap_go.swap_as_you_go = true;
+
+  const AggregateResult slow = runtime::run_design(
+      qc, nodes, composed, DesignKind::Original, 3, 47, 1);
+  const AggregateResult fast = runtime::run_design(
+      qc, nodes, swap_go, DesignKind::Original, 3, 47, 1);
+  EXPECT_GT(slow.depth.mean(), 3.0 * fast.depth.mean());
+  EXPECT_EQ(fast.avg_route_hops.mean(), 4.0);
+  EXPECT_GT(fast.entanglement_swaps.mean(), 0.0);
+}
+
 // ----------------------------------------------------------- determinism ----
 
 void expect_identical(const Accumulator& a, const Accumulator& b,

@@ -573,6 +573,41 @@ TEST(ScenarioFaults, ChainAt8WithRandomOutagesReportsReroutes) {
   EXPECT_GT(agg.depth.count(), 0u);
 }
 
+TEST(ScenarioFaults, TotalDisconnectionTerminatesUnderTheTrialBudget) {
+  // Every node except one goes down at t=0 and never recovers: no route
+  // survives and no remote gate can ever complete. The trial sim-time
+  // budget turns the would-be infinite run into a clean truncated result
+  // with the full downtime on the books — and the truncated trials stay
+  // bit-identical across thread counts.
+  const Circuit qc = four_node_circuit();
+  const std::vector<int> nodes = four_node_assignment();
+  ArchConfig config;
+  config.num_nodes = 4;
+  config.set_topology(net::Topology::ring(4));
+  Scenario scn;
+  scn.node_outages.push_back({1, 0.0, 1e9});
+  scn.node_outages.push_back({3, 0.0, 1e9});  // isolates every node pair
+  config.set_scenario(scn);
+  config.max_trial_sim_time = 400.0;
+
+  const RunResult r = run_once(qc, nodes, config, DesignKind::AsyncBuf);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_DOUBLE_EQ(r.depth, 400.0);
+  EXPECT_GT(r.outage_downtime, 0.0);
+  EXPECT_GE(r.outage_events, 1u);
+
+  const AggregateResult serial = runtime::run_design(
+      qc, nodes, config, DesignKind::AsyncBuf, 6, 800, /*threads=*/1);
+  EXPECT_EQ(serial.truncated.mean(), 1.0);
+  for (const int threads : {0, 2, 4}) {
+    SCOPED_TRACE(std::to_string(threads) + " threads");
+    const AggregateResult parallel = runtime::run_design(
+        qc, nodes, config, DesignKind::AsyncBuf, 6, 800, threads);
+    expect_identical(serial, parallel);
+    expect_identical(serial.truncated, parallel.truncated, "truncated");
+  }
+}
+
 TEST(ScenarioFaults, DriftOnlyScenarioDegradesFidelityWithoutReroutes) {
   // Quality drift perturbs pair statistics but never invalidates a route.
   const Circuit qc = four_node_circuit();
