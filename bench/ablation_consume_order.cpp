@@ -21,7 +21,7 @@ int main() {
                       "avg pair age"});
   CsvWriter csv(bench::csv_path("ablation_consume_order"),
                 {"benchmark", "design", "order", "depth_mean",
-                 "fidelity_mean", "avg_pair_age"});
+                 "fidelity_mean", "avg_pair_age_mean"});
 
   for (const auto id :
        {gen::BenchmarkId::TLIM_32, gen::BenchmarkId::QAOA_R8_32}) {

@@ -124,10 +124,20 @@ int main() {
         r.iterations = 1.0;
         r.ns_per_op = cell.ns / static_cast<double>(runs);
         r.items_per_s = static_cast<double>(runs) / (cell.ns * 1e-9);
-        r.counters = {{"reroutes_mean", agg.reroutes.mean()},
-                      {"outage_downtime_mean", agg.outage_downtime.mean()},
-                      {"depth_mean", agg.depth.mean()},
-                      {"fidelity_mean", agg.fidelity.mean()}};
+        // The distribution tails ride along for report readers (see
+        // docs/BENCHMARKS.md); they are deliberately NOT gated in
+        // ci/bench_baseline.json, which pins only the established means.
+        r.counters = {
+            {"reroutes_mean", agg.reroutes.mean()},
+            {"outage_downtime_mean", agg.outage_downtime.mean()},
+            {"outage_downtime_p50", agg.outage_downtime.quantile(0.5)},
+            {"outage_downtime_p99", agg.outage_downtime.quantile(0.99)},
+            {"avg_pair_age_p50", agg.avg_pair_age.quantile(0.5)},
+            {"avg_pair_age_p99", agg.avg_pair_age.quantile(0.99)},
+            {"avg_remote_wait_p50", agg.avg_remote_wait.quantile(0.5)},
+            {"avg_remote_wait_p99", agg.avg_remote_wait.quantile(0.99)},
+            {"depth_mean", agg.depth.mean()},
+            {"fidelity_mean", agg.fidelity.mean()}};
         if (nodes == 16) {
           r.counters.emplace_back("truncated_mean", agg.truncated.mean());
         }

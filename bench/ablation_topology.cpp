@@ -52,7 +52,7 @@ int main() {
                       "fidelity"});
   CsvWriter csv(bench::csv_path("ablation_topology"),
                 {"benchmark", "topology", "nodes", "remote_gates",
-                 "multihop_gates", "avg_route_hops", "swaps_mean",
+                 "multihop_gates", "avg_route_hops", "entanglement_swaps_mean",
                  "depth_mean", "depth_rel_ideal", "fidelity_mean"});
 
   for (const auto id :

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by obs::TraceSink.
+
+Checks:
+  - the file parses as JSON and has a non-empty "traceEvents" array;
+  - every non-metadata event carries name/cat/ph/ts/pid/tid;
+  - timestamps are monotone non-decreasing per track (tid);
+  - async span begin/end records pair up: every "e" closes an open "b"
+    with the same (cat, id), and no span is left open;
+  - instants use the documented scope ("s": "t").
+
+Usage:
+  python3 ci/check_trace.py trace.json [--require outage --require reroute]
+
+--require NAME asserts that at least one event with that name is present
+(e.g. "outage", "reroute" for a fault-scenario trace).
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+
+def validate(doc, required):
+    errors = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ['"traceEvents" missing or empty']
+
+    last_ts = {}
+    open_spans = collections.Counter()
+    names = set()
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph == "M":  # metadata (process/thread names): no timestamp rules
+            continue
+        missing = [f for f in ("name", "cat", "ph", "ts", "pid", "tid")
+                   if f not in ev]
+        if missing:
+            errors.append(f"event {i}: missing fields {missing}")
+            continue
+        tid, ts = ev["tid"], ev["ts"]
+        if tid in last_ts and ts < last_ts[tid]:
+            errors.append(
+                f"event {i}: ts {ts} < previous {last_ts[tid]} on tid {tid}")
+        last_ts[tid] = ts
+        names.add(ev["name"])
+        if ph == "b":
+            if "id" not in ev:
+                errors.append(f'event {i}: span "b" without id')
+            open_spans[(ev["cat"], ev.get("id"))] += 1
+        elif ph == "e":
+            key = (ev["cat"], ev.get("id"))
+            if open_spans[key] <= 0:
+                errors.append(f'event {i}: "e" without an open "b" for {key}')
+            else:
+                open_spans[key] -= 1
+        elif ph == "i":
+            if ev.get("s") != "t":
+                errors.append(f'event {i}: instant scope {ev.get("s")!r}, '
+                              'expected "t"')
+        else:
+            errors.append(f"event {i}: unexpected ph {ph!r}")
+
+    for key, count in sorted(open_spans.items()):
+        if count:
+            errors.append(f"{count} unterminated span(s) for {key}")
+    for name in required:
+        if name not in names:
+            errors.append(f'required event "{name}" absent from the trace')
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="trace-event JSON file to validate")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME",
+                        help="event name that must appear at least once")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"FAIL: {args.trace}: {exc}")
+        return 1
+
+    errors = validate(doc, args.require)
+    events = doc.get("traceEvents") or []
+    payload = sum(1 for ev in events if ev.get("ph") != "M")
+    if errors:
+        for err in errors[:25]:
+            print(f"FAIL: {err}")
+        if len(errors) > 25:
+            print(f"... and {len(errors) - 25} more")
+        return 1
+    dropped = doc.get("dropped_events", 0)
+    print(f"OK: {args.trace}: {payload} events on {len(set(ev.get('tid') for ev in events))} "
+          f"tracks, {dropped} dropped; monotone per-track timestamps, "
+          "all spans paired")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

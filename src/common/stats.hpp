@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -20,7 +21,9 @@ class Accumulator {
   void add(double x) noexcept;
 
   /// Merge another accumulator into this one (parallel Welford merge).
-  void merge(const Accumulator& other) noexcept;
+  /// Histogram configurations (see enable_histogram()) must match when both
+  /// sides carry observations.
+  void merge(const Accumulator& other);
 
   /// Number of observations added so far.
   std::size_t count() const noexcept { return n_; }
@@ -49,12 +52,38 @@ class Accumulator {
   /// Largest observation; 0 when empty (see min()).
   double max() const noexcept { return n_ == 0 ? 0.0 : max_; }
 
+  /// Opt in to a fixed-bin histogram backing quantile(): `bins` equal-width
+  /// bins over [lo, hi), with integer underflow/overflow tails for samples
+  /// outside the range. Off by default so that default-constructed
+  /// accumulators stay allocation-free — the engine resets its per-trial
+  /// accumulators by assignment on the hot path. Must be called before the
+  /// first add(); samples are not re-binned retroactively.
+  /// Preconditions: bins > 0, lo < hi, count() == 0.
+  void enable_histogram(double lo, double hi, std::size_t bins);
+
+  /// Whether enable_histogram() has been called.
+  bool histogram_enabled() const noexcept { return !hist_counts_.empty(); }
+
+  /// Interpolated q-quantile of the observed distribution. Requires
+  /// enable_histogram(); q is clamped to [0, 1]; 0 when empty (the same
+  /// convention as mean()/min()/max()). Tail mass outside [lo, hi)
+  /// interpolates against the exact min()/max(), so quantiles never leave
+  /// the observed range.
+  double quantile(double q) const;
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+  // Optional quantile histogram (enable_histogram); empty when disabled.
+  double hist_lo_ = 0.0;
+  double hist_hi_ = 0.0;
+  double hist_width_ = 0.0;
+  std::uint64_t hist_under_ = 0;
+  std::uint64_t hist_over_ = 0;
+  std::vector<std::uint64_t> hist_counts_;
 };
 
 /// Fixed-bin histogram over [lo, hi); used for arrival-pattern analysis.
@@ -86,6 +115,18 @@ class Histogram {
   std::size_t overflow_ = 0;
   std::size_t total_ = 0;
 };
+
+/// Interpolated quantile over integer bin counts with ascending `edges`
+/// (`bins + 1` entries; bin i covers [edges[i], edges[i+1])). Underflow
+/// mass interpolates over [min_value, edges[0]] and overflow mass over
+/// [edges[bins], max_value], clamped so the result stays inside the
+/// observed [min_value, max_value]. Returns 0 when the total count is
+/// zero; q is clamped to [0, 1]. Shared by Accumulator::quantile and the
+/// observability registry histograms (obs::Hist).
+double quantile_from_bins(const std::uint64_t* counts, std::size_t bins,
+                          const double* edges, std::uint64_t underflow,
+                          std::uint64_t overflow, double min_value,
+                          double max_value, double q) noexcept;
 
 /// Population standard deviation of a sample (convenience for tests).
 double stddev_of(const std::vector<double>& xs) noexcept;

@@ -70,6 +70,12 @@
 #include "net/swap.hpp"
 #include "net/topology.hpp"
 
+#include "obs/histogram.hpp"
+#include "obs/observe.hpp"
+#include "obs/registry.hpp"
+#include "obs/scope.hpp"
+#include "obs/trace.hpp"
+
 #include "sched/adaptive_policy.hpp"
 #include "sched/remote_gates.hpp"
 #include "sched/segmentation.hpp"

@@ -31,6 +31,7 @@
 #include "ent/buffer_pool.hpp"
 #include "ent/link_params.hpp"
 #include "ent/trace.hpp"
+#include "obs/trace.hpp"
 
 namespace dqcsim::ent {
 
@@ -112,6 +113,16 @@ class GenerationService {
     provider_ = std::move(provider);
   }
 
+  /// Trial-trace hook (see src/obs/): when set, attempt-window outcomes
+  /// are recorded as gen_ok/gen_fail spans and buffer deposits as instants
+  /// on track `track` of `sink`. Pure observation — no RNG draw, no
+  /// scheduled event, no parameter change — and cleared by reset(), so the
+  /// engine re-arms it for each traced trial only.
+  void set_trial_trace(obs::TraceBuffer* sink, std::uint32_t track) noexcept {
+    obs_trace_ = sink;
+    obs_track_ = track;
+  }
+
   BufferPool& buffer() noexcept { return buffer_; }
   const BufferPool& buffer() const noexcept { return buffer_; }
   const ArrivalTrace& trace() const noexcept { return trace_; }
@@ -161,6 +172,8 @@ class GenerationService {
   ArrivalTrace trace_;
   ArrivalHandler handler_;
   EffectiveProvider provider_;
+  obs::TraceBuffer* obs_trace_ = nullptr;
+  std::uint32_t obs_track_ = 0;
   bool started_ = false;
   bool running_ = false;
   /// Bumped by reset(): events scheduled before a reset carry the old

@@ -1,0 +1,100 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace dqcsim::obs {
+
+namespace {
+
+// 2^{k/4} for k = 0..3, as exact double literals: the quarter-octave
+// sub-bucket multipliers. Combined with ldexp (exact), the log-mode edges
+// are bit-identical on every platform — no libm pow/exp2 involved.
+constexpr double kQuarterOctave[4] = {1.0, 1.189207115002721,
+                                      1.4142135623730951, 1.681792830507429};
+constexpr int kLogMinExp = -20;  // first edge 2^-20 (~1e-6)
+constexpr int kLogMaxExp = 30;   // last edge 2^30 (~1e9)
+
+}  // namespace
+
+Hist Hist::fixed(double lo, double hi, std::size_t bins) {
+  DQCSIM_EXPECTS(bins > 0);
+  DQCSIM_EXPECTS(lo < hi);
+  Hist h;
+  h.mode_ = Mode::Fixed;
+  h.edges_.resize(bins + 1);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (std::size_t i = 0; i <= bins; ++i) {
+    h.edges_[i] = lo + width * static_cast<double>(i);
+  }
+  h.edges_[bins] = hi;
+  h.counts_.assign(bins, 0);
+  return h;
+}
+
+Hist Hist::logarithmic() {
+  Hist h;
+  h.mode_ = Mode::Log;
+  const std::size_t octaves = static_cast<std::size_t>(kLogMaxExp - kLogMinExp);
+  h.edges_.resize(octaves * 4 + 1);
+  for (std::size_t i = 0; i < h.edges_.size(); ++i) {
+    h.edges_[i] = std::ldexp(kQuarterOctave[i % 4],
+                             kLogMinExp + static_cast<int>(i / 4));
+  }
+  h.counts_.assign(h.edges_.size() - 1, 0);
+  return h;
+}
+
+void Hist::add(double v) noexcept {
+  if (mode_ == Mode::None) return;
+  ++n_;
+  min_ = n_ == 1 ? v : std::min(min_, v);
+  max_ = n_ == 1 ? v : std::max(max_, v);
+  if (v < edges_.front()) {
+    ++under_;
+  } else if (v >= edges_.back()) {
+    ++over_;
+  } else {
+    // upper_bound keeps bucketing consistent with the stored edges even
+    // where a division would round differently at a bin boundary.
+    const auto it = std::upper_bound(edges_.begin(), edges_.end(), v);
+    ++counts_[static_cast<std::size_t>(it - edges_.begin()) - 1];
+  }
+}
+
+void Hist::merge(const Hist& other) {
+  if (other.n_ == 0) return;
+  DQCSIM_EXPECTS(same_config(other));
+  min_ = n_ == 0 ? other.min_ : std::min(min_, other.min_);
+  max_ = n_ == 0 ? other.max_ : std::max(max_, other.max_);
+  n_ += other.n_;
+  under_ += other.under_;
+  over_ += other.over_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+}
+
+double Hist::quantile(double q) const noexcept {
+  if (n_ == 0) return 0.0;
+  return quantile_from_bins(counts_.data(), counts_.size(), edges_.data(),
+                            under_, over_, min_, max_, q);
+}
+
+bool Hist::same_config(const Hist& other) const noexcept {
+  return mode_ == other.mode_ && edges_ == other.edges_;
+}
+
+void Hist::reset_values() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  under_ = 0;
+  over_ = 0;
+  n_ = 0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+}  // namespace dqcsim::obs

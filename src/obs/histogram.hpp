@@ -1,0 +1,72 @@
+/// \file histogram.hpp
+/// \brief Deterministic histograms for the observability registry.
+///
+/// All state is integer bucket counts plus exact extrema, so merging
+/// per-worker histograms is exact and order-independent — the property the
+/// registry needs to produce bit-identical snapshots at any thread count
+/// (see docs/ARCHITECTURE.md "Observability"). Quantiles interpolate over
+/// the buckets via the shared helper in common/stats.hpp.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dqcsim::obs {
+
+/// Integer-count histogram with exact, order-independent merge and
+/// interpolated quantiles. Two binning modes:
+///
+/// - **fixed** — `bins` equal-width bins over [lo, hi) with tail buckets,
+///   for metrics whose range is known up front (pair age, wait times);
+/// - **logarithmic** — quarter-octave power-of-two buckets spanning
+///   [2^-20, 2^30), for streaming quantiles over unknown ranges. Bucket
+///   edges are exact binary constants (ldexp of 2^{k/4} literals), so the
+///   bucketing is bit-identical across platforms.
+class Hist {
+ public:
+  /// Unconfigured histogram; add() is a no-op until configured.
+  Hist() = default;
+
+  /// Fixed-bin mode. Preconditions: bins > 0, lo < hi.
+  static Hist fixed(double lo, double hi, std::size_t bins);
+
+  /// Logarithmic (quarter-octave) mode.
+  static Hist logarithmic();
+
+  /// Record one sample. No-op when unconfigured.
+  void add(double v) noexcept;
+
+  /// Merge another histogram of the same configuration (exact integer
+  /// addition; commutative and associative).
+  void merge(const Hist& other);
+
+  /// Interpolated q-quantile; 0 when empty, q clamped to [0, 1].
+  double quantile(double q) const noexcept;
+
+  std::uint64_t count() const noexcept { return n_; }
+  /// Smallest / largest recorded sample; 0 when empty.
+  double min() const noexcept { return n_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return n_ == 0 ? 0.0 : max_; }
+
+  bool configured() const noexcept { return mode_ != Mode::None; }
+  bool same_config(const Hist& other) const noexcept;
+
+  /// Zero all counts and extrema, keeping the bucket configuration.
+  void reset_values() noexcept;
+
+ private:
+  enum class Mode : std::uint8_t { None, Fixed, Log };
+
+  Mode mode_ = Mode::None;
+  std::vector<double> edges_;  ///< ascending, buckets + 1 entries
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t under_ = 0;
+  std::uint64_t over_ = 0;
+  std::uint64_t n_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace dqcsim::obs

@@ -1,0 +1,105 @@
+/// \file observe.hpp
+/// \brief Opt-in observability configuration and cross-worker collection.
+///
+/// Attach an Observe to ArchConfig::observe to turn the engine's dormant
+/// hooks on. A null pointer (the default) is the contract for "today's
+/// behavior": bit-identical results and 0 steady-state allocations per
+/// trial — every hook is a branch on that pointer, observation never draws
+/// from the RNG, schedules an event, or touches a figure of merit.
+///
+/// Workers accumulate into per-RunContext registries/profiles and fold them
+/// into the shared Collector at trial end; all merged state is exact
+/// integer or max arithmetic, so collector snapshots are bit-identical at
+/// any thread count (wall-clock profile numbers excepted — see scope.hpp).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "obs/registry.hpp"
+#include "obs/scope.hpp"
+
+namespace dqcsim::obs {
+
+/// Thread-safe sink the per-worker accumulations merge into.
+class Collector {
+ public:
+  void merge_registry(const Registry& r) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    registry_.merge(r);
+  }
+  void merge_profile(const Profile& p) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    profile_.merge(p);
+  }
+  /// Store the traced trial's exported JSON (one trial traces per config,
+  /// so the first writer wins; repeats of the same seed overwrite with
+  /// identical content).
+  void set_trace_json(std::string json) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    trace_json_ = std::move(json);
+  }
+
+  Registry registry() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return registry_;
+  }
+  std::string registry_json(int indent = 2) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return registry_.to_json().dump(indent);
+  }
+  Profile profile() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return profile_;
+  }
+  std::string trace_json() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return trace_json_;
+  }
+  bool has_trace() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return !trace_json_.empty();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Registry registry_;
+  Profile profile_;
+  std::string trace_json_;
+};
+
+/// Observability switchboard. Non-copyable (the Collector owns a mutex);
+/// share one instance across an experiment via ArchConfig's shared_ptr —
+/// copying an ArchConfig stays allocation-free, like the scenario field.
+struct Observe {
+  /// trace_seed value meaning "trace no trial".
+  static constexpr std::uint64_t kTraceOff = ~std::uint64_t{0};
+
+  /// Accumulate registry counters/gauges/histograms.
+  bool metrics = true;
+  /// Time engine phases into the self-profile (wall clock).
+  bool profile = true;
+  /// Per-run seed (base_seed + run index) of the single trial to trace;
+  /// kTraceOff disables tracing.
+  std::uint64_t trace_seed = kTraceOff;
+  /// Ring capacity (events) for the traced trial.
+  std::size_t trace_capacity = std::size_t{1} << 15;
+  /// Microseconds per simulation time unit in the exported trace.
+  double trace_us_per_unit = 1.0;
+  /// When non-empty, the traced trial also writes its JSON here.
+  std::string trace_path;
+
+  Collector collector;
+};
+
+/// Convenience: a fresh default Observe ready to hang on an ArchConfig.
+inline std::shared_ptr<Observe> make_observe() {
+  return std::make_shared<Observe>();
+}
+
+}  // namespace dqcsim::obs

@@ -1,0 +1,60 @@
+#include "obs/scope.hpp"
+
+#include <string>
+#include <utility>
+
+namespace dqcsim::obs {
+
+const char* phase_name(Phase phase) noexcept {
+  switch (phase) {
+    case Phase::Setup:
+      return "Setup";
+    case Phase::Routing:
+      return "Routing";
+    case Phase::Plan:
+      return "Plan";
+    case Phase::Drive:
+      return "Drive";
+    case Phase::Finalize:
+      return "Finalize";
+  }
+  return "unknown";
+}
+
+void Profile::merge(const Profile& other) noexcept {
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    entries_[i].calls += other.entries_[i].calls;
+    entries_[i].ns += other.entries_[i].ns;
+  }
+}
+
+void Profile::reset() noexcept {
+  for (auto& e : entries_) e = Entry{};
+}
+
+JsonValue Profile::to_json() const {
+  JsonValue kernels = JsonValue::array();
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const Entry& e = entries_[i];
+    if (e.calls == 0) continue;
+    JsonValue k = JsonValue::object();
+    k.set("name", JsonValue(std::string("phase/") +
+                            phase_name(static_cast<Phase>(i))));
+    k.set("ns_per_op", JsonValue(static_cast<double>(e.ns) /
+                                 static_cast<double>(e.calls)));
+    k.set("items_per_s", JsonValue(0.0));
+    k.set("iterations", JsonValue(static_cast<std::int64_t>(e.calls)));
+    k.set("label", JsonValue(""));
+    JsonValue counters = JsonValue::object();
+    counters.set("total_ns", JsonValue(static_cast<double>(e.ns)));
+    k.set("counters", std::move(counters));
+    kernels.push(std::move(k));
+  }
+  JsonValue doc = JsonValue::object();
+  doc.set("report", JsonValue("obs_profile"));
+  doc.set("schema_version", JsonValue(std::int64_t{1}));
+  doc.set("kernels", std::move(kernels));
+  return doc;
+}
+
+}  // namespace dqcsim::obs

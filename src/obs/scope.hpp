@@ -1,0 +1,100 @@
+/// \file scope.hpp
+/// \brief RAII timing scopes around engine phases (the run self-profile).
+///
+/// OBS_SCOPE(profile, phase) times the enclosing block into a fixed-size
+/// per-phase table when `profile` is non-null and compiles to a null check
+/// otherwise — the observer-off hot path pays one predictable branch and no
+/// clock read. Wall-clock numbers are machine-dependent by nature, so the
+/// profile is explicitly outside the bit-identical determinism guarantees
+/// that cover the registry and the tracer (docs/ARCHITECTURE.md
+/// "Observability").
+
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/json.hpp"
+
+namespace dqcsim::obs {
+
+/// Engine phases surfaced in the self-profile.
+enum class Phase : std::uint8_t {
+  Setup,     ///< workspace (re)build on a setup-cache miss
+  Routing,   ///< route planning on a routing-cache miss
+  Plan,      ///< per-trial link/service preparation
+  Drive,     ///< the DES drive loop (event dispatch + kernels)
+  Finalize,  ///< figures of merit + observation export
+};
+
+inline constexpr std::size_t kPhaseCount = 5;
+
+/// Phase name as it appears in profile reports.
+const char* phase_name(Phase phase) noexcept;
+
+/// Accumulated wall time and call count per phase.
+class Profile {
+ public:
+  void record(Phase phase, std::uint64_t ns) noexcept {
+    auto& e = entries_[static_cast<std::size_t>(phase)];
+    ++e.calls;
+    e.ns += ns;
+  }
+
+  std::uint64_t calls(Phase phase) const noexcept {
+    return entries_[static_cast<std::size_t>(phase)].calls;
+  }
+  std::uint64_t total_ns(Phase phase) const noexcept {
+    return entries_[static_cast<std::size_t>(phase)].ns;
+  }
+
+  void merge(const Profile& other) noexcept;
+  void reset() noexcept;
+
+  /// BENCH-style report: {"report": "obs_profile", "schema_version": 1,
+  /// "kernels": [{"name": "phase/<Phase>", "ns_per_op", "iterations",
+  /// "counters": {"total_ns"}}, ...]} — the same shape the bench regression
+  /// tooling already parses (docs/BENCHMARKS.md).
+  JsonValue to_json() const;
+
+ private:
+  struct Entry {
+    std::uint64_t calls = 0;
+    std::uint64_t ns = 0;
+  };
+  Entry entries_[kPhaseCount];
+};
+
+/// RAII timer feeding one Profile phase; a null profile skips the clock.
+class ScopeTimer {
+ public:
+  ScopeTimer(Profile* profile, Phase phase) noexcept
+      : profile_(profile), phase_(phase) {
+    if (profile_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopeTimer() {
+    if (profile_ == nullptr) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now() - start_);
+    profile_->record(phase_, static_cast<std::uint64_t>(ns.count()));
+  }
+  ScopeTimer(const ScopeTimer&) = delete;
+  ScopeTimer& operator=(const ScopeTimer&) = delete;
+
+ private:
+  Profile* profile_;
+  Phase phase_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dqcsim::obs
+
+#define DQCSIM_OBS_CONCAT_INNER(a, b) a##b
+#define DQCSIM_OBS_CONCAT(a, b) DQCSIM_OBS_CONCAT_INNER(a, b)
+
+/// Time the enclosing scope into `profile` (an obs::Profile* or null) under
+/// `phase` (an obs::Phase).
+#define OBS_SCOPE(profile, phase) \
+  ::dqcsim::obs::ScopeTimer DQCSIM_OBS_CONCAT(obs_scope_, __LINE__)( \
+      (profile), (phase))

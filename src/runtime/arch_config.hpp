@@ -13,6 +13,7 @@
 #include "ent/link_params.hpp"
 #include "net/swap.hpp"
 #include "net/topology.hpp"
+#include "obs/observe.hpp"
 #include "runtime/design.hpp"
 #include "scenario/scenario.hpp"
 
@@ -191,6 +192,16 @@ struct ArchConfig {
   /// budget is simulation time, not wall clock — so truncated runs stay
   /// bit-identical across thread counts. Infinity (default) disables it.
   double max_trial_sim_time = std::numeric_limits<double>::infinity();
+
+  /// Observability switchboard (see obs/observe.hpp and the
+  /// docs/ARCHITECTURE.md "Observability" section): metrics registry,
+  /// single-trial tracing, and the engine self-profile. Null (the default)
+  /// keeps today's behavior exactly — every hook is a branch on this
+  /// pointer, so results stay bit-identical and the trial hot path stays
+  /// allocation-free. Shared ownership keeps ArchConfig copies
+  /// allocation-free, like `topology` and `scenario`; share one instance
+  /// across a sweep to aggregate into a single collector.
+  std::shared_ptr<obs::Observe> observe;
 
   /// Convenience: wrap `topo` for the shared `topology` slot.
   void set_topology(net::Topology topo) {

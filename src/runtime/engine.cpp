@@ -6,6 +6,7 @@
 #include <cstring>
 #include <limits>
 #include <optional>
+#include <string>
 
 #include "circuit/fusion.hpp"
 #include "common/error.hpp"
@@ -18,6 +19,9 @@
 #include "noise/fidelity_ledger.hpp"
 #include "noise/purification.hpp"
 #include "noise/werner.hpp"
+#include "obs/observe.hpp"
+#include "obs/scope.hpp"
+#include "obs/trace.hpp"
 #include "sched/adaptive_policy.hpp"
 #include "sched/remote_gates.hpp"
 #include "sched/segmentation.hpp"
@@ -302,6 +306,188 @@ struct RunContext::State {
   Accumulator remote_wait_acc;
   Accumulator route_hops_acc;
 
+  // --- observability (config.observe; see src/obs/) -------------------------
+  // Every hook below branches on the `observe` pointer and is dormant when
+  // it is null: one predictable branch, no clock read, no allocation — the
+  // contract behind the observer-off bit-identical + 0-alloc guarantee.
+  // Observation never draws from the RNG or schedules an event, so the
+  // observer-on results are bit-identical to observer-off too.
+  obs::Observe* observe = nullptr;  ///< borrowed from config.observe
+  bool obs_trace = false;           ///< this trial is the traced one
+  obs::TraceBuffer trace_buf;
+  obs::TraceSink trace_sink;
+  obs::Registry reg;     ///< this worker's accumulation, merged per trial
+  obs::Profile profile;  ///< this worker's phase timings
+  /// Traced trial only: open outage start per physical edge.
+  std::vector<double> edge_down_since;
+
+  /// Registry handles, resolved once per RunContext (registration is the
+  /// cold path; recording through a handle is a vector index).
+  struct RegHandles {
+    bool valid = false;
+    obs::Registry::Handle trials = 0;
+    obs::Registry::Handle setup_hits = 0;
+    obs::Registry::Handle setup_misses = 0;
+    obs::Registry::Handle route_hits = 0;
+    obs::Registry::Handle route_misses = 0;
+    obs::Registry::Handle reroutes = 0;
+    obs::Registry::Handle outage_events = 0;
+    obs::Registry::Handle purification_rounds = 0;
+    obs::Registry::Handle purification_failures = 0;
+    obs::Registry::Handle pairs_salvaged = 0;
+    obs::Registry::Handle pairs_discarded = 0;
+    obs::Registry::Handle trace_dropped = 0;
+    obs::Registry::Handle max_delivery_gap = 0;
+    obs::Registry::Handle makespan_max = 0;
+    obs::Registry::Handle pair_age = 0;
+    obs::Registry::Handle remote_wait = 0;
+    obs::Registry::Handle outage_downtime = 0;
+    obs::Registry::Handle route_hops = 0;
+  } regh;
+
+  bool obs_metrics() const noexcept {
+    return observe != nullptr && observe->metrics;
+  }
+  obs::Profile* prof() noexcept {
+    return observe != nullptr && observe->profile ? &profile : nullptr;
+  }
+  /// Trace track ids: 0 = engine, then logical links, then physical edges.
+  std::uint32_t link_track(const LinkState& link) const noexcept {
+    return 1 + static_cast<std::uint32_t>(&link - links.data());
+  }
+  std::uint32_t edge_track(std::size_t e) const noexcept {
+    return static_cast<std::uint32_t>(1 + links.size() + e);
+  }
+
+  void resolve_reg_handles() {
+    regh.trials = reg.counter("trials");
+    // The four *_cache_* counters measure per-worker work done: every
+    // RunContext misses its workspace/route caches once, so their totals
+    // scale with the worker count. They sit outside the bit-identical
+    // thread-count guarantee, which covers all trial-scoped metrics
+    // (docs/ARCHITECTURE.md "Observability").
+    regh.setup_hits = reg.counter("setup_cache_hits");
+    regh.setup_misses = reg.counter("setup_cache_misses");
+    regh.route_hits = reg.counter("route_cache_hits");
+    regh.route_misses = reg.counter("route_cache_misses");
+    regh.reroutes = reg.counter("reroutes");
+    regh.outage_events = reg.counter("outage_events");
+    regh.purification_rounds = reg.counter("purification_rounds");
+    regh.purification_failures = reg.counter("purification_failures");
+    regh.pairs_salvaged = reg.counter("pairs_salvaged");
+    regh.pairs_discarded = reg.counter("pairs_discarded");
+    regh.trace_dropped = reg.counter("trace_dropped_events");
+    regh.max_delivery_gap = reg.gauge("max_delivery_gap");
+    regh.makespan_max = reg.gauge("makespan_max");
+    regh.pair_age = reg.log_histogram("pair_age");
+    regh.remote_wait = reg.log_histogram("remote_wait");
+    regh.outage_downtime = reg.log_histogram("outage_downtime");
+    regh.route_hops = reg.fixed_histogram("route_hops", 0.0, 64.0, 64);
+    regh.valid = true;
+  }
+
+  /// One consumed-pair buffer-dwell sample.
+  void obs_pair_age(double age) noexcept {
+    if (obs_metrics()) reg.observe(regh.pair_age, age);
+  }
+
+  /// One served remote gate: wait/hops samples plus, on the traced trial,
+  /// the wait span and the execution span on the link's track.
+  void obs_remote_served(const LinkState& link, double ready_at, double hops,
+                         double exec_latency) noexcept {
+    if (observe == nullptr) return;
+    if (observe->metrics) {
+      reg.observe(regh.remote_wait, sim.now() - ready_at);
+      reg.observe(regh.route_hops, hops);
+    }
+    if (obs_trace) {
+      const std::uint32_t track = link_track(link);
+      trace_buf.span(obs::Ev::RemoteWait, track, ready_at, sim.now());
+      trace_buf.span(obs::Ev::RemoteExec, track, sim.now(),
+                     sim.now() + exec_latency);
+    }
+  }
+
+  /// A logical link's outage interval [since, t] just closed.
+  void obs_outage_over(std::uint32_t track, double since, double t) noexcept {
+    if (obs_metrics()) reg.observe(regh.outage_downtime, t - since);
+    if (obs_trace) trace_buf.span(obs::Ev::Outage, track, since, t);
+  }
+
+  /// End-of-trial observation: close outage intervals still open at the
+  /// makespan, fold the trial's result counters into the registry, export
+  /// the traced trial, and merge this worker's accumulation into the
+  /// shared collector (then reset it — registrations and capacity stay).
+  void finish_observation() {
+    if (scen_active) {
+      for (const auto& link : links) {
+        if (!link.route_up) {
+          obs_outage_over(link_track(link), link.down_since,
+                          std::max(link.down_since, makespan));
+        }
+      }
+      if (obs_trace) {
+        for (std::size_t e = 0; e < scen_edge_up.size(); ++e) {
+          if (!scen_edge_up[e]) {
+            trace_buf.span(obs::Ev::Outage, edge_track(e),
+                           edge_down_since[e],
+                           std::max(edge_down_since[e], makespan));
+          }
+        }
+      }
+    }
+    if (obs_trace) {
+      trace_buf.span(obs::Ev::Trial, 0, 0.0, makespan);
+    }
+    if (observe->metrics) {
+      reg.add(regh.reroutes, result.reroutes);
+      reg.add(regh.outage_events, result.outage_events);
+      reg.add(regh.purification_rounds, result.purification_rounds);
+      reg.add(regh.purification_failures, result.purification_failures);
+      reg.add(regh.pairs_salvaged, result.pairs_salvaged);
+      reg.add(regh.pairs_discarded, result.pairs_discarded);
+      if (obs_trace) reg.add(regh.trace_dropped, trace_buf.dropped());
+      reg.gauge_max(regh.makespan_max, makespan);
+      const auto note_gap = [&](const ent::GenerationService& svc) {
+        reg.gauge_max(regh.max_delivery_gap, svc.max_delivery_gap(sim.now()));
+      };
+      if (use_swap_go) {
+        for (const auto& svc : edge_services) note_gap(*svc);
+      } else {
+        for (const auto& link : links) note_gap(*link.service);
+      }
+      observe->collector.merge_registry(reg);
+      reg.reset_values();
+    }
+    if (observe->profile) {
+      observe->collector.merge_profile(profile);
+      profile.reset();
+    }
+    if (obs_trace) {
+      trace_sink.clear();
+      trace_sink.set_track_name(0, "engine");
+      for (const auto& link : links) {
+        trace_sink.set_track_name(link_track(link),
+                                  "link " + std::to_string(link.node_a) +
+                                      "-" + std::to_string(link.node_b));
+      }
+      if (config.topology != nullptr && (scen_active || use_swap_go)) {
+        for (std::size_t e = 0; e < config.topology->num_edges(); ++e) {
+          const net::TopologyEdge& edge = config.topology->edge(e);
+          trace_sink.set_track_name(edge_track(e),
+                                    "edge " + std::to_string(edge.a) + "-" +
+                                        std::to_string(edge.b));
+        }
+      }
+      if (!observe->trace_path.empty()) {
+        trace_sink.write_file(trace_buf, observe->trace_path,
+                              observe->trace_us_per_unit);
+      }
+      observe->collector.set_trace_json(
+          trace_sink.to_json(trace_buf, observe->trace_us_per_unit).dump(0));
+    }
+  }
+
   // --- setup / reuse --------------------------------------------------------
 
   /// Setup-key equality for everything except circuit identity (which the
@@ -419,6 +605,19 @@ struct RunContext::State {
     rng = Rng(seed);
     sim.reset();
 
+    // Arm observability for this trial (config.observe; see src/obs/). The
+    // traced trial is selected by its per-run seed, so the choice — and the
+    // exported trace — is thread-count independent. Its ring is (re)sized
+    // here, outside the steady-state path: non-traced trials never touch
+    // the buffer.
+    observe = config.observe.get();
+    obs_trace = observe != nullptr && observe->trace_seed == seed;
+    if (obs_trace) trace_buf.reset(observe->trace_capacity);
+    if (obs_metrics()) {
+      if (!regh.valid) resolve_reg_handles();
+      reg.add(regh.trials);
+    }
+
     // Arm the fault scenario for this trial. A genuinely empty scenario is
     // treated as absent, keeping the stationary fast path; the schedule is
     // derived from the trial seed (never from `rng`), so enabling a
@@ -429,6 +628,9 @@ struct RunContext::State {
       scen.begin_trial(*config.scenario, *config.topology, seed);
       scen_edge_up.assign(config.topology->num_edges(), 1);
       scen_any_down = false;
+      if (obs_trace) {
+        edge_down_since.assign(config.topology->num_edges(), 0.0);
+      }
     }
 
     // Cache-hit resolution: the same Circuit object hits on pointer
@@ -446,7 +648,11 @@ struct RunContext::State {
         key.circuit = &c;
       }
     }
+    if (obs_metrics()) {
+      reg.add(setup_hit ? regh.setup_hits : regh.setup_misses);
+    }
     if (!setup_hit) {
+      OBS_SCOPE(prof(), obs::Phase::Setup);
       rebuild_setup(c, assignment, cfg, d, circuit_fingerprint(c));
     }
 
@@ -514,8 +720,11 @@ struct RunContext::State {
     inputs.retry = config.retry_policy;
     if (route_cache.valid && route_cache.topology == config.topology &&
         route_cache.inputs == inputs) {
+      if (obs_metrics()) reg.add(regh.route_hits);
       return;
     }
+    if (obs_metrics()) reg.add(regh.route_misses);
+    OBS_SCOPE(prof(), obs::Phase::Routing);
     const net::Topology& topo = *config.topology;
     const std::size_t num_edges = topo.num_edges();
     route_cache.valid = false;
@@ -589,9 +798,11 @@ struct RunContext::State {
     if (link.route_up && !path_changed) return;
     if (!link.route_up) {
       result.outage_downtime += t - link.down_since;
+      obs_outage_over(link_track(link), link.down_since, t);
       link.route_up = true;
     }
     ++result.reroutes;
+    if (obs_trace) trace_buf.instant(obs::Ev::Reroute, link_track(link), t);
     if (path_changed) {
       if (config.salvage_pairs) {
         // The stock kept across the re-plan is re-credited to the new
@@ -616,7 +827,19 @@ struct RunContext::State {
     bool any_down = false;
     for (std::size_t e = 0; e < scen_edge_up.size(); ++e) {
       const char up = scen.edge_up(e, t) ? 1 : 0;
-      if (up != scen_edge_up[e]) changed = true;
+      if (up != scen_edge_up[e]) {
+        changed = true;
+        // Traced trial: physical-edge outage intervals as spans on the
+        // edge's own track (logical-link outages live on the link tracks).
+        if (obs_trace) {
+          if (up) {
+            trace_buf.span(obs::Ev::Outage, edge_track(e), edge_down_since[e],
+                           t);
+          } else {
+            edge_down_since[e] = t;
+          }
+        }
+      }
       scen_edge_up[e] = up;
       if (!up) any_down = true;
     }
@@ -650,6 +873,7 @@ struct RunContext::State {
       }
       if (use_shared_caps && !use_swap_go &&
           config.reshare_at_boundaries) {
+        if (obs_trace) trace_buf.instant(obs::Ev::Reshare, 0, t);
         reshare_capacity();
       }
       if (use_swap_go) {
@@ -766,6 +990,9 @@ struct RunContext::State {
           route, route_cache.edge_params, route_cache.inputs.swap,
           hop_comm_scratch.data(), hop_buf_scratch.data());
       link.service->reset(rl.params, mode);
+      if (obs_trace) {
+        link.service->set_trial_trace(&trace_buf, link_track(link));
+      }
       link.hops = rl.hops;
       link.extra_latency = rl.extra_latency;
       if (scen_active) {
@@ -845,6 +1072,7 @@ struct RunContext::State {
       ent::LinkParams ep = route_cache.edge_params[e];
       if (!design_uses_buffer(design)) ep.buffer_capacity = 1;
       svc.reset(ep, ent::ServiceMode::Buffered);
+      if (obs_trace) svc.set_trial_trace(&trace_buf, edge_track(e));
       svc.set_arrival_handler([this, e](des::SimTime) {
         on_edge_deposit(e);
         return true;
@@ -885,9 +1113,11 @@ struct RunContext::State {
     if (link.route_up && !path_changed) return;
     if (!link.route_up) {
       result.outage_downtime += t - link.down_since;
+      obs_outage_over(link_track(link), link.down_since, t);
       link.route_up = true;
     }
     ++result.reroutes;
+    if (obs_trace) trace_buf.instant(obs::Ev::Reroute, link_track(link), t);
     if (path_changed) {
       if (config.salvage_pairs && !use_swap_go) {
         // The stock kept across the re-plan is re-credited to the new
@@ -1002,6 +1232,7 @@ struct RunContext::State {
           DQCSIM_ENSURES(pair.has_value());
           const double age = sim.now() - pair->deposited;
           pair_age_acc.add(age);
+          obs_pair_age(age);
           hop_fid_scratch.push_back(noise::werner_decayed_fidelity(
               pair->f0, route_cache.edge_params[e].kappa, age));
         }
@@ -1013,6 +1244,12 @@ struct RunContext::State {
       }
       if (salvaging) result.pairs_salvaged += needed;
       result.entanglement_swaps += (path_hops - 1) * needed;
+      if (obs_trace) {
+        trace_buf.instant(obs::Ev::SwapAssemble, link_track(link), sim.now());
+        if (salvaging) {
+          trace_buf.instant(obs::Ev::Salvage, link_track(link), sim.now());
+        }
+      }
       // The assembled pairs are born at this instant, so decay over
       // [birth, now] is the identity: the fused fidelities feed
       // purification directly.
@@ -1028,15 +1265,17 @@ struct RunContext::State {
       const std::size_t gate = req.gate;
       remote_wait_acc.add(sim.now() - req.ready_at);
       route_hops_acc.add(static_cast<double>(path_hops));
+      const double extra_delay =
+          static_cast<double>(path_hops - 1) *
+              route_cache.inputs.swap.latency +
+          (config.purify_on_consume ? config.purification_latency : 0.0);
+      obs_remote_served(
+          link, req.ready_at, static_cast<double>(path_hops),
+          extra_delay + latency_of(circuit->gate(gate), /*remote=*/true));
       link.pending.pop_front();
       // start_remote_gate reads *logical before any re-entrant serve (via
       // segment pumping) can clobber the scratch buffers it points into.
-      start_remote_gate(
-          gate, *logical,
-          static_cast<double>(path_hops - 1) *
-                  route_cache.inputs.swap.latency +
-              (config.purify_on_consume ? config.purification_latency
-                                        : 0.0));
+      start_remote_gate(gate, *logical, extra_delay);
     }
   }
 
@@ -1249,6 +1488,7 @@ struct RunContext::State {
     for (std::size_t i = 0; i < req.num_births; ++i) {
       const double age = sim.now() - req.births[i];
       pair_age_acc.add(age);
+      obs_pair_age(age);
       scratch_raw.push_back(
           noise::werner_decayed_fidelity(req.birth_f0[i], lp.kappa, age));
     }
@@ -1263,6 +1503,9 @@ struct RunContext::State {
   /// provided or scratch storage valid until the next serve.
   const std::vector<double>* maybe_purify(const std::vector<double>& raw) {
     if (!config.purify_on_consume) return &raw;
+    // The serving link is unknown here, so purification rounds mark the
+    // engine track; per-round counters fold at trial end.
+    if (obs_trace) trace_buf.instant(obs::Ev::Purify, 0, sim.now());
     scratch_outcomes.clear();
     std::size_t draws_needed = 0;
     for (std::size_t i = 0; i + 1 < raw.size(); i += 2) {
@@ -1372,6 +1615,9 @@ struct RunContext::State {
         // salvage here is accounting: pairs buffered before the outage
         // serving a gate while the route is severed.
         result.pairs_salvaged += needed;
+        if (obs_trace) {
+          trace_buf.instant(obs::Ev::Salvage, link_track(link), sim.now());
+        }
       }
       const auto* logical = maybe_purify(decay_births(link, req));
       if (logical == nullptr) {
@@ -1383,14 +1629,16 @@ struct RunContext::State {
       const std::size_t gate = req.gate;
       remote_wait_acc.add(sim.now() - req.ready_at);
       route_hops_acc.add(static_cast<double>(link.hops));
+      const double extra_delay =
+          link.extra_latency +
+          (config.purify_on_consume ? config.purification_latency : 0.0);
+      obs_remote_served(
+          link, req.ready_at, static_cast<double>(link.hops),
+          extra_delay + latency_of(circuit->gate(gate), /*remote=*/true));
       link.pending.pop_front();
       // start_remote_gate reads *logical before any re-entrant serve (via
       // segment pumping) can clobber the scratch buffers it points into.
-      start_remote_gate(gate, *logical,
-                        link.extra_latency +
-                            (config.purify_on_consume
-                                 ? config.purification_latency
-                                 : 0.0));
+      start_remote_gate(gate, *logical, extra_delay);
     }
   }
 
@@ -1418,12 +1666,14 @@ struct RunContext::State {
     const std::size_t gate = req.gate;
     remote_wait_acc.add(now - req.ready_at);
     route_hops_acc.add(static_cast<double>(link.hops));
+    const double extra_delay =
+        link.extra_latency +
+        (config.purify_on_consume ? config.purification_latency : 0.0);
+    obs_remote_served(
+        link, req.ready_at, static_cast<double>(link.hops),
+        extra_delay + latency_of(circuit->gate(gate), /*remote=*/true));
     link.pending.pop_front();
-    start_remote_gate(gate, *logical,
-                      link.extra_latency +
-                          (config.purify_on_consume
-                               ? config.purification_latency
-                               : 0.0));
+    start_remote_gate(gate, *logical, extra_delay);
     return true;
   }
 
@@ -1431,6 +1681,9 @@ struct RunContext::State {
     const bool needs_link =
         design != DesignKind::IdealMono && placement.num_remote_2q > 0;
     if (needs_link) {
+      // The Plan phase covers per-trial link/service preparation; it nests
+      // the Routing phase on a routing-cache miss.
+      OBS_SCOPE(prof(), obs::Phase::Plan);
       if (design_uses_buffer(design) && config.buffer_per_node < 1) {
         throw ConfigError(
             "buffered designs need at least one buffer qubit per node");
@@ -1470,6 +1723,9 @@ struct RunContext::State {
                 route, route_cache.edge_params, route_cache.inputs.swap);
             link.service->reset(rl.params, mode);
             link.hops = rl.hops;
+            if (obs_trace) {
+              link.service->set_trial_trace(&trace_buf, link_track(link));
+            }
             link.extra_latency = rl.extra_latency;
             if (scen_active) {
               link.route_edges.assign(route.edges.begin(),
@@ -1485,6 +1741,9 @@ struct RunContext::State {
             link.service->reset(flat_params, mode);
             link.hops = 1;
             link.extra_latency = 0.0;
+            if (obs_trace) {
+              link.service->set_trial_trace(&trace_buf, link_track(link));
+            }
           }
           if (mode == ent::ServiceMode::Buffered) {
             link.service->set_arrival_handler(
@@ -1532,99 +1791,108 @@ struct RunContext::State {
     // metrics instead of spinning on generation windows forever.
     const double budget = config.max_trial_sim_time;
     const bool bounded = std::isfinite(budget);
-    while (num_completed < circuit->num_gates()) {
-      if (bounded && !sim.idle() && sim.next_event_time() > budget) {
-        result.truncated = true;
-        break;
+    {
+      OBS_SCOPE(prof(), obs::Phase::Drive);
+      while (num_completed < circuit->num_gates()) {
+        if (bounded && !sim.idle() && sim.next_event_time() > budget) {
+          result.truncated = true;
+          break;
+        }
+        const bool progressed = sim.step();
+        DQCSIM_ENSURES_MSG(progressed,
+                           "simulation stalled with unfinished gates");
       }
-      const bool progressed = sim.step();
-      DQCSIM_ENSURES_MSG(progressed,
-                         "simulation stalled with unfinished gates");
     }
-    if (result.truncated) {
-      // Depth and idling report the budget horizon the trial ran out at.
-      makespan = std::max(makespan, budget);
-    }
-    if (use_swap_go) {
-      // Per-link services were never started in swap-as-you-go mode; the
-      // running machinery is the per-edge pool.
-      for (auto& svc : edge_services) svc->stop();
-    } else {
-      for (auto& link : links) link.service->stop();
-    }
-
-    // link_stalled watchdog: services that at some point went longer than
-    // stall_windows attempt windows without one successful generation.
-    // Pure observation over the always-tracked success-gap maximum — no
-    // RNG draw, no event, so the knob cannot perturb the trial itself.
-    if (config.stall_windows > 0) {
-      const auto stalled = [&](const ent::GenerationService& svc) {
-        return svc.max_delivery_gap(sim.now()) >
-               static_cast<double>(config.stall_windows) *
-                   svc.params().cycle_time;
-      };
+    {
+      // Finalize must close before finish_observation merges the profile,
+      // or its own timing would lag one trial behind the collector.
+      OBS_SCOPE(prof(), obs::Phase::Finalize);
+      if (result.truncated) {
+        // Depth and idling report the budget horizon the trial ran out at.
+        makespan = std::max(makespan, budget);
+      }
       if (use_swap_go) {
+        // Per-link services were never started in swap-as-you-go mode; the
+        // running machinery is the per-edge pool.
+        for (auto& svc : edge_services) svc->stop();
+      } else {
+        for (auto& link : links) link.service->stop();
+      }
+
+      // link_stalled watchdog: services that at some point went longer than
+      // stall_windows attempt windows without one successful generation.
+      // Pure observation over the always-tracked success-gap maximum — no
+      // RNG draw, no event, so the knob cannot perturb the trial itself.
+      if (config.stall_windows > 0) {
+        const auto stalled = [&](const ent::GenerationService& svc) {
+          return svc.max_delivery_gap(sim.now()) >
+                 static_cast<double>(config.stall_windows) *
+                     svc.params().cycle_time;
+        };
+        if (use_swap_go) {
+          for (const auto& svc : edge_services) {
+            if (stalled(*svc)) ++result.links_stalled;
+          }
+        } else {
+          for (const auto& link : links) {
+            if (stalled(*link.service)) ++result.links_stalled;
+          }
+        }
+      }
+
+      // Links still routeless when the last gate completes accrue their
+      // downtime up to the makespan (the reported trial duration).
+      if (scen_active) {
+        for (const auto& link : links) {
+          if (!link.route_up) {
+            result.outage_downtime += std::max(0.0, makespan - link.down_since);
+          }
+        }
+      }
+
+      // Figures of merit.
+      ledger.add_idling(config.kappa, makespan);
+      result.depth = makespan / config.lat.local_cnot;
+      result.fidelity = ledger.fidelity();
+      result.fidelity_local =
+          ledger.category_fidelity(noise::FidelityTerm::Local1Q) *
+          ledger.category_fidelity(noise::FidelityTerm::Local2Q) *
+          ledger.category_fidelity(noise::FidelityTerm::Measurement);
+      result.fidelity_remote =
+          ledger.category_fidelity(noise::FidelityTerm::Remote);
+      result.fidelity_idling =
+          ledger.category_fidelity(noise::FidelityTerm::Idling);
+      result.remote_gates = placement.num_remote_2q;
+      if (use_swap_go) {
+        // Entanglement accounting lives on the per-edge pool: a "consumed"
+        // pair here is a single-hop pair drained into an end-to-end fusion.
         for (const auto& svc : edge_services) {
-          if (stalled(*svc)) ++result.links_stalled;
+          result.epr_attempts += svc->attempts();
+          result.epr_successes += svc->successes();
+          result.epr_consumed += svc->buffer().total_consumed();
+          result.epr_wasted += svc->wasted_buffer_full();
+          result.epr_expired += svc->buffer().total_expired();
         }
       } else {
         for (const auto& link : links) {
-          if (stalled(*link.service)) ++result.links_stalled;
+          const auto& service = *link.service;
+          result.epr_attempts += service.attempts();
+          result.epr_successes += service.successes();
+          result.epr_consumed +=
+              service.buffer().total_consumed() +
+              (service.mode() == ent::ServiceMode::OnDemand
+                   ? service.successes() - service.wasted_unconsumed()
+                   : 0);
+          result.epr_wasted +=
+              service.wasted_buffer_full() + service.wasted_unconsumed();
+          result.epr_expired += service.buffer().total_expired();
         }
       }
+      result.avg_pair_age = pair_age_acc.mean();
+      result.avg_remote_wait = remote_wait_acc.mean();
+      result.avg_route_hops = route_hops_acc.mean();
     }
-
-    // Links still routeless when the last gate completes accrue their
-    // downtime up to the makespan (the reported trial duration).
-    if (scen_active) {
-      for (const auto& link : links) {
-        if (!link.route_up) {
-          result.outage_downtime += std::max(0.0, makespan - link.down_since);
-        }
-      }
-    }
-
-    // Figures of merit.
-    ledger.add_idling(config.kappa, makespan);
-    result.depth = makespan / config.lat.local_cnot;
-    result.fidelity = ledger.fidelity();
-    result.fidelity_local =
-        ledger.category_fidelity(noise::FidelityTerm::Local1Q) *
-        ledger.category_fidelity(noise::FidelityTerm::Local2Q) *
-        ledger.category_fidelity(noise::FidelityTerm::Measurement);
-    result.fidelity_remote =
-        ledger.category_fidelity(noise::FidelityTerm::Remote);
-    result.fidelity_idling =
-        ledger.category_fidelity(noise::FidelityTerm::Idling);
-    result.remote_gates = placement.num_remote_2q;
-    if (use_swap_go) {
-      // Entanglement accounting lives on the per-edge pool: a "consumed"
-      // pair here is a single-hop pair drained into an end-to-end fusion.
-      for (const auto& svc : edge_services) {
-        result.epr_attempts += svc->attempts();
-        result.epr_successes += svc->successes();
-        result.epr_consumed += svc->buffer().total_consumed();
-        result.epr_wasted += svc->wasted_buffer_full();
-        result.epr_expired += svc->buffer().total_expired();
-      }
-    } else {
-      for (const auto& link : links) {
-        const auto& service = *link.service;
-        result.epr_attempts += service.attempts();
-        result.epr_successes += service.successes();
-        result.epr_consumed +=
-            service.buffer().total_consumed() +
-            (service.mode() == ent::ServiceMode::OnDemand
-                 ? service.successes() - service.wasted_unconsumed()
-                 : 0);
-        result.epr_wasted +=
-            service.wasted_buffer_full() + service.wasted_unconsumed();
-        result.epr_expired += service.buffer().total_expired();
-      }
-    }
-    result.avg_pair_age = pair_age_acc.mean();
-    result.avg_remote_wait = remote_wait_acc.mean();
-    result.avg_route_hops = route_hops_acc.mean();
+    if (observe != nullptr) finish_observation();
     return result;
   }
 };

@@ -2,6 +2,16 @@
 
 namespace dqcsim::runtime {
 
+AggregateResult::AggregateResult() {
+  // Quantile histogram ranges, in local-CNOT time units. Samples beyond a
+  // range still land in the exact-count tail buckets and interpolate
+  // against min/max, so a wider-than-expected distribution degrades
+  // gracefully instead of clipping.
+  avg_pair_age.enable_histogram(0.0, 256.0, 512);
+  avg_remote_wait.enable_histogram(0.0, 4096.0, 512);
+  outage_downtime.enable_histogram(0.0, 65536.0, 512);
+}
+
 void AggregateResult::add(const RunResult& run) {
   depth.add(run.depth);
   fidelity.add(run.fidelity);

@@ -27,13 +27,19 @@ struct RunResult {
   std::size_t epr_consumed = 0;
   std::size_t epr_wasted = 0;   ///< unconsumed (original) or buffer-full
   std::size_t epr_expired = 0;  ///< discarded by the buffer cutoff policy
-  double avg_pair_age = 0.0;    ///< mean buffer dwell time of consumed pairs
-  double avg_remote_wait = 0.0; ///< mean remote-gate wait for a pair
+  /// Mean buffer dwell time of consumed pairs. Aggregated as
+  /// `avg_pair_age_mean` / `_p50` / `_p99` in bench reports.
+  double avg_pair_age = 0.0;
+  /// Mean remote-gate wait for a pair. Aggregated as
+  /// `avg_remote_wait_mean` / `_p50` / `_p99` in bench reports.
+  double avg_remote_wait = 0.0;
 
   // Routing accounting (topology-backed interconnects; see src/net/).
   /// Entanglement swaps performed for consumed end-to-end pairs: each pair
   /// delivered over an h-hop route costs h - 1 swaps. 0 on single-hop
-  /// (all-to-all) interconnects.
+  /// (all-to-all) interconnects. Aggregated as `entanglement_swaps_mean`
+  /// in bench reports (the field name, like every counter key, matches
+  /// this struct's member name).
   std::size_t entanglement_swaps = 0;
   /// Mean route length (hops) over executed remote gates; 1.0 when every
   /// consumed pair crossed a direct physical link, 0 with no remote gates.
@@ -60,7 +66,8 @@ struct RunResult {
   /// Outage boundaries at which at least one logical link lost its route.
   std::size_t outage_events = 0;
   /// Summed time logical links spent without a live route (time units;
-  /// a boundary taking two links down for 5 units accrues 10).
+  /// a boundary taking two links down for 5 units accrues 10). Aggregated
+  /// as `outage_downtime_mean` / `_p50` / `_p99` in bench reports.
   double outage_downtime = 0.0;
 
   // Degraded-mode accounting (opt-in salvage / re-sharing / retry knobs;
@@ -95,7 +102,18 @@ struct RunResult {
 };
 
 /// Streaming aggregate over repeated runs (the paper averages 50).
+///
+/// Bench reports name aggregated counters `<field>_mean` (e.g.
+/// `reroutes_mean`, `outage_downtime_mean`); the three distribution
+/// metrics below additionally surface `<field>_p50` / `<field>_p99`.
+/// run_design folds runs in run-index order regardless of which worker
+/// produced them, so every statistic — quantiles included — is
+/// bit-identical at any thread count.
 struct AggregateResult {
+  /// Enables the quantile histograms on avg_pair_age, avg_remote_wait, and
+  /// outage_downtime (a few KiB per aggregate; see Accumulator::quantile).
+  AggregateResult();
+
   Accumulator depth;
   Accumulator fidelity;
   Accumulator epr_wasted;

@@ -213,6 +213,101 @@ TEST(Accumulator, Ci95ShrinksWithSamples) {
   EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
 }
 
+TEST(Accumulator, QuantileUniformBins) {
+  Accumulator acc;
+  acc.enable_histogram(0.0, 10.0, 10);
+  EXPECT_TRUE(acc.histogram_enabled());
+  for (int i = 0; i < 10; ++i) acc.add(static_cast<double>(i) + 0.5);
+  // One sample per unit bin: the interpolated median lands on the bin
+  // boundary where half the mass has accumulated.
+  EXPECT_DOUBLE_EQ(acc.quantile(0.5), 5.0);
+  // q outside [0, 1] clamps to the exact extrema.
+  EXPECT_DOUBLE_EQ(acc.quantile(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(acc.quantile(-3.0), 0.5);
+  EXPECT_DOUBLE_EQ(acc.quantile(1.0), 9.5);
+  EXPECT_DOUBLE_EQ(acc.quantile(2.0), 9.5);
+}
+
+TEST(Accumulator, QuantileEmptyIsZero) {
+  Accumulator acc;
+  acc.enable_histogram(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(acc.quantile(0.5), 0.0);
+}
+
+TEST(Accumulator, QuantileSingleValueClampsToObservation) {
+  // The bin spans [3, 4) but the only observation is 3.7: interpolation is
+  // clamped to the observed [min, max], so every quantile reports 3.7.
+  Accumulator acc;
+  acc.enable_histogram(0.0, 10.0, 10);
+  acc.add(3.7);
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(acc.quantile(q), 3.7) << "q=" << q;
+  }
+}
+
+TEST(Accumulator, QuantileTailMassStaysInObservedRange) {
+  // Samples outside [lo, hi) land in the under/overflow tails, which
+  // interpolate against the exact extrema instead of escaping the range.
+  Accumulator acc;
+  acc.enable_histogram(0.0, 10.0, 10);
+  for (double x : {-6.0, -2.0, 5.5, 14.0, 20.0}) acc.add(x);
+  EXPECT_GE(acc.quantile(0.01), -6.0);
+  EXPECT_LE(acc.quantile(0.99), 20.0);
+  EXPECT_DOUBLE_EQ(acc.quantile(0.0), -6.0);
+  EXPECT_DOUBLE_EQ(acc.quantile(1.0), 20.0);
+}
+
+TEST(Accumulator, HistogramMergeIsAssociativeAndOrderIndependent) {
+  // Bin counts are integers and extrema are exact min/max, so merge is
+  // associative and commutative bit-for-bit — the property the parallel
+  // run-folding in runtime::run_design relies on for determinism at any
+  // thread count.
+  const auto fresh = [] {
+    Accumulator acc;
+    acc.enable_histogram(0.0, 10.0, 20);
+    return acc;
+  };
+  Accumulator a = fresh(), b = fresh(), c = fresh(), all = fresh();
+  Rng rng(91);
+  for (int i = 0; i < 900; ++i) {
+    const double x = rng.uniform(-2.0, 14.0);  // exercises the tails too
+    all.add(x);
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).add(x);
+  }
+  Accumulator left = fresh();   // (a + b) + c
+  Accumulator right = fresh();  // a + (b + c)
+  left.merge(a);
+  left.merge(b);
+  left.merge(c);
+  Accumulator bc = fresh();
+  bc.merge(b);
+  bc.merge(c);
+  right.merge(a);
+  right.merge(bc);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_EQ(right.count(), all.count());
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(left.quantile(q), all.quantile(q)) << "q=" << q;
+    EXPECT_DOUBLE_EQ(right.quantile(q), all.quantile(q)) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Accumulator, HistogramMergeWithEmptySameConfig) {
+  Accumulator acc, empty;
+  acc.enable_histogram(0.0, 4.0, 4);
+  empty.enable_histogram(0.0, 4.0, 4);
+  acc.add(1.0);
+  acc.add(3.0);
+  acc.merge(empty);
+  EXPECT_EQ(acc.count(), 2u);
+  EXPECT_DOUBLE_EQ(acc.quantile(1.0), 3.0);
+  empty.merge(acc);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.0), 1.0);
+}
+
 TEST(StatsHelpers, MeanAndStddevOfVector) {
   EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
   EXPECT_NEAR(stddev_of({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
