@@ -28,6 +28,7 @@ Rng::Rng(std::uint64_t seed) noexcept {
   }
 }
 
+// DQCSIM_HOT
 Rng::result_type Rng::operator()() noexcept {
   const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
   const std::uint64_t t = state_[1] << 17;
@@ -40,11 +41,13 @@ Rng::result_type Rng::operator()() noexcept {
   return result;
 }
 
+// DQCSIM_HOT
 double Rng::uniform() noexcept {
   // 53 high-quality bits -> double in [0, 1).
   return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
 }
 
+// DQCSIM_HOT
 void Rng::fill_uniform(double* out, std::size_t n) noexcept {
   for (std::size_t i = 0; i < n; ++i) out[i] = uniform();
 }
@@ -76,6 +79,10 @@ std::uint64_t Rng::geometric(double p) noexcept {
   // Inversion method: floor(log(U) / log(1-p)).
   const double u = 1.0 - uniform();  // in (0, 1]
   return static_cast<std::uint64_t>(std::log(u) / std::log1p(-p));
+}
+
+double Rng::exponential(double mean) noexcept {
+  return -mean * std::log(1.0 - uniform());
 }
 
 Rng Rng::split() noexcept {

@@ -54,6 +54,14 @@ class Rng {
   /// Precondition: 0 < p <= 1.
   std::uint64_t geometric(double p) noexcept;
 
+  /// Exponential variate with the given mean (inversion method). uniform()
+  /// is in [0, 1), so the log argument stays in (0, 1] and the result is
+  /// finite and non-negative. This is the blessed wrapper for Exp sampling:
+  /// callers in result-affecting subsystems must use it instead of spelling
+  /// the -mean * log(1 - u) inversion with raw libm (docs/ARCHITECTURE.md
+  /// "Determinism rules", no-raw-libm).
+  double exponential(double mean) noexcept;
+
   /// Fisher–Yates shuffle of a vector in place.
   template <typename T>
   void shuffle(std::vector<T>& v) noexcept {

@@ -61,6 +61,7 @@ std::size_t BufferPool::flush(des::SimTime now) {
   return dropped;
 }
 
+// DQCSIM_HOT
 void BufferPool::expire_until(des::SimTime now) {
   while (count_ > 0 && now - ring_[head_].deposited > cutoff_) {
     head_ = next(head_);
@@ -74,6 +75,7 @@ std::size_t BufferPool::size(des::SimTime now) {
   return count_;
 }
 
+// DQCSIM_HOT
 bool BufferPool::deposit(des::SimTime now, double f0) {
   expire_until(now);
   if (count_ >= capacity_) {
@@ -88,6 +90,7 @@ bool BufferPool::deposit(des::SimTime now, double f0) {
   return true;
 }
 
+// DQCSIM_HOT
 std::optional<BufferedPair> BufferPool::pop_oldest(des::SimTime now) {
   expire_until(now);
   if (count_ == 0) return std::nullopt;
@@ -98,6 +101,7 @@ std::optional<BufferedPair> BufferPool::pop_oldest(des::SimTime now) {
   return pair;
 }
 
+// DQCSIM_HOT
 std::optional<BufferedPair> BufferPool::pop_freshest(des::SimTime now) {
   expire_until(now);
   if (count_ == 0) return std::nullopt;

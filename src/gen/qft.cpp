@@ -13,8 +13,10 @@ Circuit make_qft(int num_qubits) {
   for (QubitId i = 0; i < num_qubits; ++i) {
     qc.h(i);
     for (QubitId j = i + 1; j < num_qubits; ++j) {
-      const double angle =
-          std::numbers::pi / std::pow(2.0, static_cast<double>(j - i));
+      // pi / 2^(j-i) via ldexp: exact scaling by a power of two, so the
+      // rotation angles are bit-identical on every libm (std::pow is a
+      // transcendental whose last ulp varies across implementations).
+      const double angle = std::ldexp(std::numbers::pi, -(j - i));
       qc.cp(j, i, angle);
     }
   }

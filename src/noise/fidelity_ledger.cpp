@@ -6,12 +6,14 @@
 
 namespace dqcsim::noise {
 
+// DQCSIM_HOT
 void FidelityLedger::add_factor(FidelityTerm term, double f) {
   DQCSIM_EXPECTS_MSG(f > 0.0 && f <= 1.0, "fidelity factor must be in (0,1]");
   log_sum_[index_of(term)] += std::log(f);
   ++count_[index_of(term)];
 }
 
+// DQCSIM_HOT
 void FidelityLedger::add_idling(double kappa, double t) {
   DQCSIM_EXPECTS(kappa >= 0.0);
   DQCSIM_EXPECTS(t >= 0.0);

@@ -11,6 +11,11 @@
 
 #pragma once
 
+// DQCSIM_LINT_ALLOW_FILE(no-wall-clock): the self-profile measures real
+// elapsed time by design; steady_clock reads happen only when a Profile is
+// attached and never feed simulation results (see the bit-identity caveat
+// in the file doc above).
+
 #include <chrono>
 #include <cstddef>
 #include <cstdint>

@@ -64,6 +64,7 @@ inline void cmul_run_stride2(Complex* amp, std::size_t begin, std::size_t end,
 /// Diagonal 1q sweep over [base, end): phases d[0]/d[1] by the `mask` bit.
 /// The range walks constant-phase runs so the hot loop has a loop-invariant
 /// multiplier (vectorizable), never a per-amplitude table lookup.
+// DQCSIM_HOT
 void diag1q_range(Complex* amp, std::size_t base, std::size_t end,
                   const Complex d[2], std::size_t mask) {
   if (mask == 1) {
@@ -94,6 +95,7 @@ inline SortedDiagPhases diag2q_sorted_phases(const Mat4& u, std::size_t mh,
 
 /// Diagonal 2q sweep over [base, end): `ds` is indexed by sorted bit order
 /// (ds[2] selects the higher of the two masks), `lo` < `hi` are the masks.
+// DQCSIM_HOT
 void diag2q_range(Complex* amp, std::size_t base, std::size_t end,
                   const Complex ds[4], std::size_t lo, std::size_t hi) {
   std::size_t x = base;
@@ -117,6 +119,7 @@ void diag2q_range(Complex* amp, std::size_t base, std::size_t end,
 
 /// Dense 1q pair update over [base, end). Precondition: 2 * stride divides
 /// base and end - base, so no pair crosses the range boundary.
+// DQCSIM_HOT
 void dense1q_range(Complex* amp, std::size_t base, std::size_t end,
                    const Mat2& u, std::size_t stride) {
   for (std::size_t blk = base; blk < end; blk += 2 * stride) {
@@ -241,6 +244,7 @@ void finalize_group(DiagGroup& g, const FusedOp* const* members,
 
 /// Apply a diagonal group to [base, end). Precondition: base is block
 /// aligned (multiples of any skip stride below the block size divide it).
+// DQCSIM_HOT
 void apply_group_range(Complex* amp, std::size_t base, std::size_t end,
                        const DiagGroup& g) {
   if (g.all_unit) return;

@@ -22,11 +22,11 @@
 #include "obs/observe.hpp"
 #include "obs/scope.hpp"
 #include "obs/trace.hpp"
+#include "scenario/runtime.hpp"
 #include "sched/adaptive_policy.hpp"
 #include "sched/remote_gates.hpp"
 #include "sched/segmentation.hpp"
 #include "sched/variants.hpp"
-#include "scenario/runtime.hpp"
 
 namespace dqcsim::runtime {
 
@@ -574,7 +574,8 @@ struct RunContext::State {
             static_cast<int>(a),
             static_cast<int>(b),
             1,
-            0.0});
+            0.0,
+            {}});
       }
     }
 
@@ -1079,10 +1080,10 @@ struct RunContext::State {
       });
       if (scen_active) {
         svc.set_effective_provider([this, e](des::SimTime t) {
-          const ent::LinkParams& ep = route_cache.edge_params[e];
+          const ent::LinkParams& edge_p = route_cache.edge_params[e];
           ent::EffectiveLink eff;
-          eff.p_succ = scen.effective_p_succ(e, ep.p_succ, t);
-          eff.f0 = scen.effective_f0(e, ep.f0, t);
+          eff.p_succ = scen.effective_p_succ(e, edge_p.p_succ, t);
+          eff.f0 = scen.effective_f0(e, edge_p.f0, t);
           eff.up = scen.edge_up(e, t);
           return eff;
         });

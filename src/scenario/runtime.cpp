@@ -31,10 +31,11 @@ std::uint64_t derive_seed(std::uint64_t trial_seed, std::uint64_t salt,
   return mix64(mix64(trial_seed ^ salt ^ tag) + index);
 }
 
-/// Exp(mean) variate. uniform() is in [0, 1), so the log argument is in
-/// (0, 1] and the result finite.
+/// Exp(mean) variate through the blessed Rng wrapper — the raw
+/// -mean * log(1 - u) inversion lives in common/rng so the engine
+/// subsystems stay free of raw libm calls (no-raw-libm).
 double exponential(Rng& rng, double mean) noexcept {
-  return -mean * std::log(1.0 - rng.uniform());
+  return rng.exponential(mean);
 }
 
 }  // namespace

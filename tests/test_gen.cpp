@@ -117,6 +117,31 @@ TEST(Qft, AnglesHalveWithDistance) {
   EXPECT_NEAR(qc.gate(2).param, std::numbers::pi / 4.0, 1e-12);
 }
 
+TEST(Qft, RotationAnglesAreBitIdenticalToPowFormula) {
+  // Regression guard for the std::pow -> std::ldexp rewrite in make_qft.
+  // ldexp scales by a power of two exactly, and pow(2.0, k) is exact for
+  // the small integer exponents a QFT uses, so every rotation angle must
+  // equal the historical pi / 2^(j-i) value bit for bit (exact ==, not
+  // EXPECT_NEAR): the rewrite removes libm variance without changing a
+  // single result bit.
+  const int n = 16;
+  const Circuit qc = make_qft(n);
+  std::size_t g = 0;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_EQ(qc.gate(g).kind, GateKind::H);
+    ++g;
+    for (int j = i + 1; j < n; ++j, ++g) {
+      ASSERT_EQ(qc.gate(g).kind, GateKind::CP);
+      const double dist = static_cast<double>(j - i);
+      const double pow_formula = std::numbers::pi / std::pow(2.0, dist);
+      EXPECT_EQ(qc.gate(g).param, pow_formula)
+          << "angle drifted at i=" << i << " j=" << j;
+      EXPECT_EQ(qc.gate(g).param, std::ldexp(std::numbers::pi, -(j - i)));
+    }
+  }
+  EXPECT_EQ(g, qc.num_gates());
+}
+
 TEST(Qft, RejectsZeroQubits) {
   EXPECT_THROW(make_qft(0), PreconditionError);
 }

@@ -1,0 +1,21 @@
+// Fixture: a hot function appending into reserved capacity, and an
+// unannotated function that may allocate freely (setup-phase code).
+#include <memory>
+#include <vector>
+
+struct Event {
+  int id = 0;
+};
+
+// DQCSIM_HOT
+void drain(std::vector<Event>& out, int n) {
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(Event{i});  // lands in the reservation above
+  }
+}
+
+std::unique_ptr<Event> setup() {
+  // Not annotated: allocation is fine off the hot path.
+  return std::make_unique<Event>();
+}

@@ -1,0 +1,13 @@
+// Fixture: a hot function whose single append is justified.
+#include <vector>
+
+struct Event {
+  int id = 0;
+};
+
+// DQCSIM_HOT
+void record(std::vector<Event>& log, int id) {
+  // DQCSIM_LINT_ALLOW(hot-alloc): grows to the high-water mark once per
+  // reused workspace; steady state appends into retained capacity.
+  log.push_back(Event{id});
+}

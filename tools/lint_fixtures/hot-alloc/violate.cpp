@@ -1,0 +1,19 @@
+// Fixture: heap traffic inside an annotated hot function.
+#include <memory>
+#include <vector>
+
+struct Event {
+  int id = 0;
+};
+
+// DQCSIM_HOT
+int drain(std::vector<Event>& out, int n) {
+  auto scratch = std::make_unique<Event[]>(16);
+  Event* extra = new Event{n};
+  for (int i = 0; i < n; ++i) {
+    out.push_back(Event{i});  // unreserved: may reallocate mid-trial
+  }
+  const int id = extra->id + scratch[0].id;
+  delete extra;
+  return id;
+}

@@ -1,0 +1,9 @@
+// Fixture: own header first, then sorted system block, then sorted
+// project block — the blank lines separate the styles.
+#include "own_header.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "alpha/one.hpp"
+#include "beta/two.hpp"

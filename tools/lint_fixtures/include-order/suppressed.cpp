@@ -1,0 +1,5 @@
+// Fixture: a justified ordering exception (config macro must precede).
+#include "config_macros.hpp"
+// DQCSIM_LINT_ALLOW(include-order): config_macros.hpp defines the feature
+// test macro the platform header keys on, so it must stay first.
+#include "aaa_platform.hpp"

@@ -1,0 +1,6 @@
+// Fixture: one unsorted block, then one block mixing styles.
+#include <vector>
+#include <algorithm>
+
+#include "zeta.hpp"
+#include <cstdint>

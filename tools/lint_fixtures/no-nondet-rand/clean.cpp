@@ -1,0 +1,16 @@
+// Fixture: deterministic code plus banned tokens hidden in comments and
+// string literals — the scrubber must keep all of them from matching.
+// A comment mentioning rand() or std::random_device is not a finding.
+const char* kDoc = "do not call rand() or srand(7) here";
+
+struct Rng {
+  unsigned long long s = 0x9E3779B97F4A7C15ULL;
+  unsigned long long next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;  // xorshift: reproducible from the seed (no <random> engine)
+  }
+};
+
+int draw(Rng& rng) { return static_cast<int>(rng.next() & 0xFF); }

@@ -1,0 +1,10 @@
+// Fixture: every line below is a nondeterminism source the lint must flag.
+#include <cstdlib>
+#include <random>
+
+int draw() {
+  std::random_device rd;
+  std::mt19937 engine(rd());
+  std::srand(42);
+  return std::rand() + static_cast<int>(engine());
+}

@@ -1,0 +1,16 @@
+// Fixture: exact, libm-independent alternatives — std::ldexp scales by a
+// power of two exactly, iterated multiply stays bit-stable, and identifiers
+// merely containing banned names (explore, prologue, exp_counter) are fine.
+// Calls like std::exp(...) in comments must not match either.
+#include <cmath>
+
+double half_life(int k, double growth, int n) {
+  const double a = std::ldexp(1.0, -k);
+  double explore = 1.0;
+  int exp_counter = 0;
+  for (int i = 0; i < n; ++i) {
+    explore *= growth;  // iterated multiply, not std::pow
+    ++exp_counter;
+  }
+  return a * explore + exp_counter;
+}

@@ -1,0 +1,8 @@
+// Fixture: a justified raw-libm use on a non-result path.
+#include <cmath>
+
+double axis_scale(double v) {
+  // DQCSIM_LINT_ALLOW(no-raw-libm): report-only axis cosmetics — feeds a
+  // human-readable plot scale, never a simulation statistic.
+  return std::log10(v);
+}

@@ -1,0 +1,10 @@
+// Fixture: raw transcendentals whose last ulp differs across libm builds.
+#include <cmath>
+
+double half_life(double p, int k, double x) {
+  const double a = std::pow(2.0, static_cast<double>(k));
+  const double b = std::exp(-2.0 * x);
+  const double c = std::log(1.0 - p);
+  const double d = log1p(-p);  // unqualified spelling must match too
+  return a + b + c + d;
+}

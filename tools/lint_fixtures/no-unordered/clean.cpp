@@ -1,0 +1,14 @@
+// Fixture: ordered containers traverse deterministically. The comment may
+// mention unordered_map without tripping the rule.
+#include <map>
+#include <set>
+#include <string>
+
+int tally(const std::map<std::string, int>& scores) {
+  std::set<int> seen;
+  int total = 0;
+  for (const auto& [name, value] : scores) {
+    if (seen.insert(value).second) total += value;
+  }
+  return total;
+}

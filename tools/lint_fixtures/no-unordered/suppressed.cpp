@@ -1,0 +1,11 @@
+// Fixture: a justified lookup-only hash table.
+#include <string>
+#include <unordered_map>
+
+int lookup(const char* key) {
+  // DQCSIM_LINT_ALLOW(no-unordered): lookup-only cache — never iterated, so
+  // hash order cannot reach any result; keyed lookups are order-free.
+  static const std::unordered_map<std::string, int> kTable = {{"x", 1}};
+  const auto it = kTable.find(key);
+  return it == kTable.end() ? 0 : it->second;
+}

@@ -1,0 +1,13 @@
+// Fixture: hash containers in a result-affecting subsystem.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+int tally(const std::unordered_map<std::string, int>& scores) {
+  std::unordered_set<int> seen;
+  int total = 0;
+  for (const auto& [name, value] : scores) {  // iteration order varies!
+    if (seen.insert(value).second) total += value;
+  }
+  return total;
+}

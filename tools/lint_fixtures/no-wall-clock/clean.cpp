@@ -1,0 +1,9 @@
+// Fixture: simulation time is a parameter, never read from a clock.
+// Identifiers *containing* banned names (cycle_time, downtime) must not
+// match, nor may a mention of steady_clock in this comment.
+using SimTime = double;
+
+SimTime advance(SimTime now, double cycle_time) {
+  const double downtime = 0.0;
+  return now + cycle_time + downtime;
+}

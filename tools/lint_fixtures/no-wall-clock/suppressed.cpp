@@ -1,0 +1,9 @@
+// Fixture: file-wide suppression for a profiling translation unit.
+// DQCSIM_LINT_ALLOW_FILE(no-wall-clock): profiling scope — wall time is the
+// measured quantity and never feeds simulation results.
+#include <chrono>
+
+double profile_tick() {
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

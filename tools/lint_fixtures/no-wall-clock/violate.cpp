@@ -1,0 +1,11 @@
+// Fixture: wall-clock reads inside engine code.
+#include <chrono>
+#include <ctime>
+
+double elapsed() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::high_resolution_clock::now();
+  const std::time_t wall = std::time(nullptr);
+  return static_cast<double>(wall) +
+         std::chrono::duration<double>(t1 - t0).count();
+}

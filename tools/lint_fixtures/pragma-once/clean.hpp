@@ -1,0 +1,8 @@
+/// \file clean.hpp
+/// \brief A leading doc banner is fine; the first code line is the pragma.
+
+#pragma once
+
+struct Guarded {
+  int value = 0;
+};

@@ -1,0 +1,6 @@
+// Fixture: a justified multiple-inclusion header (X-macro table).
+// DQCSIM_LINT_ALLOW_FILE(pragma-once): X-macro fragment included many times
+// on purpose; a pragma would break every expansion after the first.
+DQCSIM_PHASE(Setup)
+DQCSIM_PHASE(Drive)
+DQCSIM_PHASE(Finalize)

@@ -1,0 +1,9 @@
+// Fixture: legacy include guard instead of #pragma once.
+#ifndef DQCSIM_FIXTURE_VIOLATE_HPP
+#define DQCSIM_FIXTURE_VIOLATE_HPP
+
+struct Guarded {
+  int value = 0;
+};
+
+#endif  // DQCSIM_FIXTURE_VIOLATE_HPP

@@ -1,0 +1,5 @@
+// Fixture: an ALLOW without a justification is itself a finding.
+#include <unordered_map>
+
+// DQCSIM_LINT_ALLOW(no-unordered)
+std::unordered_map<int, int> table;

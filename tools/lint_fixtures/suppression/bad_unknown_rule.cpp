@@ -1,0 +1,3 @@
+// Fixture: an ALLOW naming a rule that does not exist.
+// DQCSIM_LINT_ALLOW(no-such-rule): this id is a typo and must be reported.
+int value = 0;

@@ -1,0 +1,7 @@
+// Fixture: a justified ALLOW that no longer suppresses anything — the
+// hash table it once excused was removed, so the exception must go too.
+#include <map>
+
+// DQCSIM_LINT_ALLOW(no-unordered): lookup-only cache (stale: it is a map
+// now, nothing here trips the rule anymore).
+std::map<int, int> table;
